@@ -1,0 +1,76 @@
+// Experiment E10 (ablation half) — segment-length ablation for Algorithm 2.
+//
+// The paper fixes L = C/3. This harness sweeps L and shows the tension the
+// rule resolves: small L multiplies barriers and staging overhead (see the
+// op counts and modelled time), large L overflows the cache (see the
+// simulated misses, which jump once 3L elements exceed capacity).
+//
+// Flags: --elements N (per array, default 256Ki), --cache-bytes N
+// (default 32 KiB), --threads N (default 8), --csv, --seed.
+
+#include <iostream>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/traced_merge.hpp"
+#include "core/mergepath.hpp"
+#include "harness_common.hpp"
+#include "pram/simulate.hpp"
+#include "util/data_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mp;
+  using namespace mp::bench;
+  using namespace mp::cachesim;
+
+  Harness h(argc, argv, "E10/ablation", "SPM segment length L sweep");
+  const std::size_t per_array = static_cast<std::size_t>(
+      h.cli.get_int("elements", h.full ? (1 << 20) : (256 << 10)));
+  const std::uint64_t cache_bytes =
+      static_cast<std::uint64_t>(h.cli.get_int("cache-bytes", 32 * 1024));
+  const unsigned threads = static_cast<unsigned>(h.cli.get_int("threads", 8));
+  h.check_flags();
+
+  const auto input =
+      make_merge_input(Dist::kUniform, per_array, per_array, h.seed);
+  const std::size_t total = 2 * per_array;
+  const std::size_t c_elems = cache_bytes / 4;
+  const std::size_t paper_rule = c_elems / 3;
+
+  const auto model = pram::MachineModel::paper_x5670();
+  CacheConfig cache_config;
+  cache_config.size_bytes = cache_bytes;
+  cache_config.associativity = 8;
+  const MergeLayout layout{0, cache_bytes * 1024, 2 * cache_bytes * 1024};
+
+  Table table({"L_elems", "L_vs_C/3", "segments", "modeled_ms",
+               "sim_miss_per_1k", "conflict+capacity"});
+  for (double factor : {1.0 / 16, 1.0 / 4, 1.0, 2.0, 8.0}) {
+    const auto L = static_cast<std::size_t>(
+        static_cast<double>(paper_rule) * factor);
+    if (L == 0) continue;
+
+    SegmentedConfig config;
+    config.segment_length = L;
+    const auto sim = pram::simulate_segmented_merge(input.a, input.b,
+                                                    threads, model, config);
+
+    Cache cache(cache_config);
+    const auto traced = trace_segmented_merge(input.a, input.b, threads, L,
+                                              layout, cache);
+    const CacheStats& s = traced.stats;
+    table.add_row(
+        {fmt_count(L), fmt_double(factor, 3),
+         fmt_count((total + L - 1) / L), fmt_double(sim.time_ns / 1e6, 2),
+         fmt_double(static_cast<double>(s.misses) * 1000.0 /
+                        static_cast<double>(total),
+                    1),
+         fmt_count(s.conflict_misses + s.capacity_misses)});
+  }
+  h.emit(table);
+  if (!h.csv)
+    std::cout << "\nthe paper's rule L = C/3 = " << fmt_count(paper_rule)
+              << " elements sits at the knee: shorter L pays barriers, "
+                 "longer L pays\ncache misses (Section IV.B).\n";
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Experiment E7 (throughput half) — google-benchmark wall-clock comparison
+// of the parallel merge algorithms and the sequential baselines on this
+// host. Absolute numbers reflect the container (see DESIGN.md section 2);
+// the PRAM-modelled comparison lives in table_balance / fig5_speedup.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/baselines.hpp"
+#include "core/mergepath.hpp"
+#include "util/data_gen.hpp"
+
+namespace {
+
+using namespace mp;
+using namespace mp::baselines;
+
+constexpr unsigned kThreads = 4;
+
+MergeInput input_for(const benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  return make_merge_input(Dist::kUniform, n, n, 42);
+}
+
+void BM_ClassicSequentialMerge(benchmark::State& state) {
+  const auto input = input_for(state);
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  for (auto _ : state) {
+    classic_merge(input.a.data(), input.a.size(), input.b.data(),
+                  input.b.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClassicSequentialMerge)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StdMerge(benchmark::State& state) {
+  const auto input = input_for(state);
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  for (auto _ : state) {
+    std::merge(input.a.begin(), input.a.end(), input.b.begin(),
+               input.b.end(), out.begin());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StdMerge)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MergePath(benchmark::State& state) {
+  const auto input = input_for(state);
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  for (auto _ : state) {
+    parallel_merge(input.a.data(), input.a.size(), input.b.data(),
+                   input.b.size(), out.data(), Executor{nullptr, kThreads});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MergePath)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SegmentedMergePath(benchmark::State& state) {
+  const auto input = input_for(state);
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  SegmentedConfig config;  // host-derived L = C/3
+  for (auto _ : state) {
+    segmented_parallel_merge(input.a.data(), input.a.size(), input.b.data(),
+                             input.b.size(), out.data(), config,
+                             Executor{nullptr, kThreads});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SegmentedMergePath)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShiloachVishkin(benchmark::State& state) {
+  const auto input = input_for(state);
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  for (auto _ : state) {
+    shiloach_vishkin_merge(input.a.data(), input.a.size(), input.b.data(),
+                           input.b.size(), out.data(),
+                           Executor{nullptr, kThreads});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ShiloachVishkin)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AklSantoro(benchmark::State& state) {
+  const auto input = input_for(state);
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  for (auto _ : state) {
+    akl_santoro_merge(input.a.data(), input.a.size(), input.b.data(),
+                      input.b.size(), out.data(),
+                      Executor{nullptr, kThreads});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AklSantoro)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DeoSarkar(benchmark::State& state) {
+  const auto input = input_for(state);
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  for (auto _ : state) {
+    deo_sarkar_merge(input.a.data(), input.a.size(), input.b.data(),
+                     input.b.size(), out.data(), Executor{nullptr, kThreads});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DeoSarkar)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BitonicMerge(benchmark::State& state) {
+  const auto input = input_for(state);
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  for (auto _ : state) {
+    bitonic_merge(input.a.data(), input.a.size(), input.b.data(),
+                  input.b.size(), out.data(), Executor{nullptr, kThreads});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BitonicMerge)->Arg(1 << 16)->Arg(1 << 18)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelMergeSort(benchmark::State& state) {
+  const auto values =
+      make_unsorted_values(static_cast<std::size_t>(state.range(0)), 42);
+  std::vector<std::int32_t> data;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = values;
+    state.ResumeTiming();
+    parallel_merge_sort(data.data(), data.size(),
+                        Executor{nullptr, kThreads});
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(values.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParallelMergeSort)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelRadixSort(benchmark::State& state) {
+  const auto values =
+      make_unsorted_values(static_cast<std::size_t>(state.range(0)), 42);
+  std::vector<std::int32_t> data;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = values;
+    state.ResumeTiming();
+    parallel_radix_sort(data.data(), data.size(),
+                        Executor{nullptr, kThreads});
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(values.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ParallelRadixSort)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_StdSort(benchmark::State& state) {
+  const auto values =
+      make_unsorted_values(static_cast<std::size_t>(state.range(0)), 42);
+  std::vector<std::int32_t> data;
+  for (auto _ : state) {
+    state.PauseTiming();
+    data = values;
+    state.ResumeTiming();
+    std::sort(data.begin(), data.end());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(values.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StdSort)->Arg(1 << 16)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

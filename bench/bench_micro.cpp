@@ -1,0 +1,178 @@
+// Experiment E10 (micro half) — google-benchmark microbenchmarks of the
+// primitives: the diagonal binary search vs the Deo-Sarkar halving
+// selection, the full path partition, the three sequential merge kernels,
+// the loser tree, and multiway selection.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/deo_sarkar.hpp"
+#include "core/mergepath.hpp"
+#include "core/multiway_merge.hpp"
+#include "util/data_gen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace mp;
+
+void BM_DiagonalIntersection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = make_merge_input(Dist::kUniform, n, n, 42);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    const std::size_t diag = rng.bounded(2 * n + 1);
+    benchmark::DoNotOptimize(diagonal_intersection(
+        input.a.data(), n, input.b.data(), n, diag));
+  }
+}
+BENCHMARK(BM_DiagonalIntersection)->Arg(1 << 16)->Arg(1 << 24);
+
+void BM_DeoSarkarSelection(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = make_merge_input(Dist::kUniform, n, n, 42);
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    const std::size_t k = rng.bounded(2 * n + 1);
+    benchmark::DoNotOptimize(baselines::kth_element_split(
+        input.a.data(), n, input.b.data(), n, k));
+  }
+}
+BENCHMARK(BM_DeoSarkarSelection)->Arg(1 << 16)->Arg(1 << 24);
+
+void BM_PartitionMergePath(benchmark::State& state) {
+  const std::size_t n = 1 << 20;
+  const auto parts = static_cast<std::size_t>(state.range(0));
+  const auto input = make_merge_input(Dist::kUniform, n, n, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(partition_merge_path(
+        input.a.data(), n, input.b.data(), n, parts));
+  }
+}
+BENCHMARK(BM_PartitionMergePath)->Arg(2)->Arg(12)->Arg(128);
+
+void BM_MergeStepsKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = make_merge_input(Dist::kUniform, n, n, 42);
+  std::vector<std::int32_t> out(2 * n);
+  for (auto _ : state) {
+    std::size_t i = 0, j = 0;
+    merge_steps(input.a.data(), n, input.b.data(), n, &i, &j, out.data(),
+                2 * n);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MergeStepsKernel)->Arg(1 << 16);
+
+void BM_ClassicMergeKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = make_merge_input(Dist::kUniform, n, n, 42);
+  std::vector<std::int32_t> out(2 * n);
+  for (auto _ : state) {
+    classic_merge(input.a.data(), n, input.b.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClassicMergeKernel)->Arg(1 << 16);
+
+void BM_AdaptiveMergeKernel(benchmark::State& state) {
+  // organ_pipe: the run-structured input where galloping pays.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = make_merge_input(Dist::kOrganPipe, n, n, 42);
+  std::vector<std::int32_t> out(2 * n);
+  for (auto _ : state) {
+    adaptive_merge(input.a.data(), n, input.b.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AdaptiveMergeKernel)->Arg(1 << 16);
+
+void BM_ClassicMergeKernelOrganPipe(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = make_merge_input(Dist::kOrganPipe, n, n, 42);
+  std::vector<std::int32_t> out(2 * n);
+  for (auto _ : state) {
+    classic_merge(input.a.data(), n, input.b.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClassicMergeKernelOrganPipe)->Arg(1 << 16);
+
+void BM_BranchlessMergeKernel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto input = make_merge_input(Dist::kUniform, n, n, 42);
+  std::vector<std::int32_t> out(2 * n);
+  for (auto _ : state) {
+    std::size_t i = 0, j = 0, written = 0;
+    while (written < 2 * n) {
+      const std::size_t safe =
+          branchless_safe_steps(n, n, i, j, 2 * n - written);
+      if (safe == 0) {
+        merge_steps(input.a.data(), n, input.b.data(), n, &i, &j,
+                    out.data() + written, 2 * n - written);
+        break;
+      }
+      branchless_merge_steps(input.a.data(), input.b.data(), &i, &j,
+                             out.data() + written, safe);
+      written += safe;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * n) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BranchlessMergeKernel)->Arg(1 << 16);
+
+void BM_LoserTreePopN(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<std::int32_t>> runs(k);
+  Xoshiro256 rng(9);
+  const std::size_t per_run = (1u << 16) / k;
+  for (auto& run : runs) {
+    run.resize(per_run);
+    for (auto& x : run) x = static_cast<std::int32_t>(rng.bounded(1 << 30));
+    std::sort(run.begin(), run.end());
+  }
+  std::vector<std::int32_t> out(k * per_run);
+  for (auto _ : state) {
+    std::vector<LoserTree<std::int32_t>::Cursor> cursors(k);
+    for (std::size_t t = 0; t < k; ++t)
+      cursors[t] = {runs[t].data(), runs[t].data() + runs[t].size()};
+    LoserTree<std::int32_t> tree(std::move(cursors));
+    tree.pop_n(out.data(), out.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(out.size()) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LoserTreePopN)->Arg(2)->Arg(8)->Arg(64);
+
+void BM_MultiwaySelect(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<std::vector<std::int32_t>> runs(k);
+  Xoshiro256 rng(11);
+  for (auto& run : runs) {
+    run.resize((1u << 20) / k);
+    for (auto& x : run) x = static_cast<std::int32_t>(rng.bounded(1 << 30));
+    std::sort(run.begin(), run.end());
+  }
+  std::vector<std::span<const std::int32_t>> views;
+  for (const auto& run : runs) views.emplace_back(run.data(), run.size());
+  std::size_t total = 0;
+  for (const auto& run : runs) total += run.size();
+  for (auto _ : state) {
+    const std::size_t rank = rng.bounded(total + 1);
+    benchmark::DoNotOptimize(multiway_select(
+        std::span<const std::span<const std::int32_t>>(views), rank));
+  }
+}
+BENCHMARK(BM_MultiwaySelect)->Arg(2)->Arg(8)->Arg(64);
+
+}  // namespace

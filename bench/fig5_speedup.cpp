@@ -1,0 +1,149 @@
+// Experiment E1 — Figure 5 of the paper: speedup of the basic Parallel
+// Merge (Algorithm 1) versus thread count, one series per input-array
+// size.
+//
+// The paper measured 1M/4M/16M/64M/256M-element arrays (32-bit ints, size
+// per input array) on a 12-core Xeon X5670 box, reporting near-linear
+// speedup (~11.7x at 12 threads) with a slight droop for the largest
+// arrays. This harness reproduces the figure under the CREW PRAM cost
+// model (DESIGN.md section 2 explains the substitution); pass --wallclock
+// to also print host wall-clock numbers, which on a single-core container
+// are reported for honesty, not for shape.
+//
+// Flags: --full (all five paper sizes; default 1M/4M/16M), --threads-max N
+// (default 12), --wallclock, --csv, --seed.
+
+#include <iostream>
+#include <vector>
+
+#include "core/mergepath.hpp"
+#include "harness_common.hpp"
+#include "pram/speedup.hpp"
+#include "util/data_gen.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace mp;
+using namespace mp::bench;
+using namespace mp::pram;
+
+double wallclock_merge_seconds(const MergeInput& input, unsigned threads) {
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  return time_best_of([&] {
+    parallel_merge(input.a.data(), input.a.size(), input.b.data(),
+                   input.b.size(), out.data(), Executor{nullptr, threads});
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Harness h(argc, argv, "E1/Figure 5",
+            "Parallel Merge speedup vs threads (PRAM cost model)");
+  const unsigned threads_max =
+      static_cast<unsigned>(h.cli.get_int("threads-max", 12));
+  const bool wallclock = h.cli.get_bool("wallclock");
+  h.check_flags();
+
+  std::vector<std::size_t> sizes{1u << 20, 4u << 20, 16u << 20};
+  if (h.full) {
+    sizes.push_back(64u << 20);
+    sizes.push_back(256u << 20);
+  }
+  std::vector<unsigned> threads;
+  for (unsigned p = 1; p <= threads_max; ++p) threads.push_back(p);
+
+  const auto model = MachineModel::paper_x5670();
+  Table table({"elements_per_array", "threads", "modeled_ms", "speedup",
+               "compute_ms", "memory_ms", "barrier_us"});
+  for (std::size_t size : sizes) {
+    const SpeedupCurve curve =
+        merge_speedup_curve(size, threads, model, h.seed);
+    for (const CurvePoint& pt : curve.points) {
+      table.add_row({fmt_count(size), std::to_string(pt.threads),
+                     fmt_double(pt.sim.time_ns / 1e6, 2),
+                     fmt_ratio(pt.speedup),
+                     fmt_double(pt.sim.compute_ns / 1e6, 2),
+                     fmt_double(pt.sim.memory_ns / 1e6, 2),
+                     fmt_double(pt.sim.barrier_ns / 1e3, 1)});
+    }
+  }
+  h.emit(table);
+
+  if (!h.csv) {
+    std::cout << "\npaper reference: near-linear speedup, ~11.7x at 12 "
+                 "threads, slightly\nlower for the largest arrays "
+                 "(Section VI, Figure 5).\n";
+  }
+
+  // Data-independence check (Corollary 7: every path step costs the same,
+  // so the partition balances REGARDLESS of the input interleaving): the
+  // modelled 12-thread speedup per adversarial distribution.
+  if (!h.csv)
+    std::cout << "\nload balance is data-independent — speedup at p = 12 "
+                 "by input shape (1M/array):\n";
+  {
+    Table dists({"distribution", "speedup@12", "max/mean_elements",
+                 "max/mean_op_cost"});
+    for (Dist dist : kAllDists) {
+      const auto input = make_merge_input(dist, 1u << 20, 1u << 20, h.seed);
+      const auto base =
+          mp::pram::simulate_parallel_merge(input.a, input.b, 1, model);
+      const auto run =
+          mp::pram::simulate_parallel_merge(input.a, input.b, 12, model);
+      ThreadPool serial(0);
+      std::vector<OpCounts> counts(12);
+      std::vector<std::int32_t> out(input.a.size() + input.b.size());
+      parallel_merge(input.a.data(), input.a.size(), input.b.data(),
+                     input.b.size(), out.data(), Executor{&serial, 12},
+                     std::less<>{}, std::span<OpCounts>(counts));
+      std::uint64_t max_elems = 0, sum_elems = 0, max_ops = 0, sum_ops = 0;
+      for (const auto& c : counts) {
+        max_elems = std::max(max_elems, c.moves);
+        sum_elems += c.moves;
+        max_ops = std::max(max_ops, c.total());
+        sum_ops += c.total();
+      }
+      dists.add_row({to_string(dist),
+                     fmt_ratio(base.time_ns / run.time_ns),
+                     fmt_double(static_cast<double>(max_elems) * 12.0 /
+                                    static_cast<double>(sum_elems),
+                                3),
+                     fmt_double(static_cast<double>(max_ops) * 12.0 /
+                                    static_cast<double>(sum_ops),
+                                3)});
+    }
+    h.emit(dists);
+    if (!h.csv)
+      std::cout
+          << "\nelements per lane are exactly equal on every input "
+             "(Corollary 7). The op-cost\nspread on degenerate shapes "
+             "(disjoint/all-equal) is a kernel OPTIMISATION, not\nan "
+             "imbalance: lanes whose slice is a pure copy skip the "
+             "comparison entirely\nand finish EARLY — the paper's uniform-"
+             "step model treats every step as\nread+compare+write, which "
+             "the uniform rows match at 1.000/1.000.\n";
+  }
+
+  if (wallclock) {
+    Table wc({"elements_per_array", "threads", "wall_ms", "speedup_vs_p1"});
+    for (std::size_t size : sizes) {
+      if (size > (16u << 20)) continue;  // keep host memory sane
+      const auto input =
+          make_merge_input(Dist::kUniform, size, size, h.seed);
+      const double base = wallclock_merge_seconds(input, 1);
+      for (unsigned p : {1u, 2u, 4u, 8u, 12u}) {
+        if (p > threads_max) break;
+        const double t = wallclock_merge_seconds(input, p);
+        wc.add_row({fmt_count(size), std::to_string(p),
+                    fmt_double(t * 1e3, 2), fmt_ratio(base / t)});
+      }
+    }
+    if (!h.csv)
+      std::cout << "\nhost wall clock (" << host_info().logical_cpus
+                << "-core container; shape not comparable to Figure 5):\n";
+    h.emit(wc);
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Experiment E14 (extension) — Merge Path on the SIMT memory model: the
+// design question its GPU descendants (GPU Merge Path, ModernGPU,
+// Thrust/CUB merge) answered with shared-memory staging.
+//
+// Both simulated kernels partition identically (grid-level tile bounds,
+// then per-thread diagonals — the paper's machinery verbatim); they differ
+// only in where the scattered per-thread cursor traffic lands:
+//
+//   direct: merge loop reads/writes global memory; a warp's 32 cursors
+//           scatter, and once VT*4B >= the 128B transaction size every
+//           lane pays its own transaction;
+//   staged: tile windows are loaded/stored cooperatively (coalesced) and
+//           the scattered traffic happens in shared memory.
+//
+// The table sweeps items-per-thread (VT) and reports global transactions
+// per merged element plus the modelled-time ratio.
+//
+// Flags: --elements N (per array, default 64Ki; --full 1Mi),
+//        --cta-threads N (default 128), --csv, --seed.
+
+#include <iostream>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "simt/gpu_merge.hpp"
+#include "util/data_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mp;
+  using namespace mp::bench;
+  using namespace mp::simt;
+
+  Harness h(argc, argv, "E14/GPU descendants",
+            "SIMT coalescing: direct vs shared-staged merge kernels");
+  const std::size_t per_array = static_cast<std::size_t>(
+      h.cli.get_int("elements", h.full ? (1 << 20) : (1 << 16)));
+  const unsigned cta_threads =
+      static_cast<unsigned>(h.cli.get_int("cta-threads", 128));
+  h.check_flags();
+
+  const auto input =
+      make_merge_input(Dist::kUniform, per_array, per_array, h.seed);
+
+  Table table({"items_per_thread", "direct_txn_per_elem",
+               "staged_txn_per_elem", "traffic_ratio", "modeled_speedup",
+               "staged_bank_conflict_extra"});
+  for (unsigned vt : {4u, 7u, 15u, 32u}) {
+    GpuMergeConfig config;
+    config.simt.cta_threads = cta_threads;
+    config.items_per_thread = vt;
+    const auto direct = gpu_merge_direct(input.a, input.b, config);
+    const auto staged = gpu_merge_staged(input.a, input.b, config);
+    if (direct.output != staged.output) {
+      std::cerr << "KERNEL OUTPUT MISMATCH\n";
+      return 1;
+    }
+    table.add_row(
+        {std::to_string(vt), fmt_double(direct.transactions_per_element(), 3),
+         fmt_double(staged.transactions_per_element(), 3),
+         fmt_ratio(static_cast<double>(
+                       direct.kernel.totals.global_transactions) /
+                   static_cast<double>(
+                       staged.kernel.totals.global_transactions)),
+         fmt_ratio(direct.kernel.modeled_time / staged.kernel.modeled_time),
+         fmt_count(staged.kernel.totals.bank_conflict_extra)});
+  }
+  h.emit(table);
+
+  if (!h.csv)
+    std::cout << "\nfull GPU merge sort (blocksort + staged merge tree):\n";
+  {
+    GpuMergeConfig config;
+    config.simt.cta_threads = cta_threads;
+    const auto unsorted = make_unsorted_values(2 * per_array, h.seed);
+    const auto sorted = gpu_merge_sort(unsorted, config);
+    Table sort_table({"phase", "global_txns", "txn_per_elem",
+                      "shared_accesses", "ctas"});
+    sort_table.add_row(
+        {"blocksort",
+         fmt_count(sorted.blocksort.totals.global_transactions),
+         fmt_double(static_cast<double>(
+                        sorted.blocksort.totals.global_transactions) /
+                        static_cast<double>(unsorted.size()),
+                    3),
+         fmt_count(sorted.blocksort.totals.shared_accesses),
+         fmt_count(sorted.blocksort.ctas)});
+    sort_table.add_row(
+        {"merge tree (" + std::to_string(sorted.rounds) + " rounds)",
+         fmt_count(sorted.merge_rounds.totals.global_transactions),
+         fmt_double(sorted.merge_transactions_per_element(), 3),
+         fmt_count(sorted.merge_rounds.totals.shared_accesses),
+         fmt_count(sorted.merge_rounds.ctas)});
+    h.emit(sort_table);
+  }
+
+  if (!h.csv) {
+    std::cout
+        << "\nthe partition is identical in both kernels — what staging "
+           "buys is moving the\nscattered per-cursor traffic from global "
+           "(transaction-granular) to shared\nmemory, exactly the design "
+           "adopted by the GPU Merge Path line of work that\ngrew out of "
+           "this paper.\n";
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+#pragma once
+/// \file harness_common.hpp
+/// Shared plumbing for the experiment harnesses: banner, --csv switch,
+/// unknown-flag rejection, and size-scaling conventions.
+///
+/// Conventions, applied uniformly:
+///   --csv          emit CSV instead of the aligned table
+///   --full         paper-scale sizes (slow, memory-hungry); default is a
+///                  scaled-down sweep that keeps the whole bench directory
+///                  runnable in seconds
+///   --seed N       workload seed (default 42)
+/// Every harness exits non-zero on unknown flags so sweep typos surface.
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/hw.hpp"
+#include "util/table.hpp"
+
+namespace mp::bench {
+
+/// Parses argv, prints the experiment banner, and rejects unknown flags at
+/// scope exit (call `finish` after all get()s).
+struct Harness {
+  Cli cli;
+  bool csv = false;
+  bool full = false;
+  std::uint64_t seed = 42;
+
+  Harness(int argc, const char* const* argv, const char* experiment_id,
+          const char* title)
+      : cli(argc, argv) {
+    if (!cli.ok()) {
+      std::cerr << "error: " << cli.error() << "\n";
+      std::exit(2);
+    }
+    csv = cli.get_bool("csv");
+    full = cli.get_bool("full");
+    seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    if (!csv) {
+      std::cout << "== " << experiment_id << ": " << title << " ==\n"
+                << "host: " << describe(host_info()) << "\n";
+    }
+  }
+
+  /// Call after the last flag read; aborts on unconsumed (typo'd) flags.
+  void check_flags() const {
+    const auto leftover = cli.unconsumed();
+    if (!leftover.empty()) {
+      std::cerr << "error: unknown flag(s):";
+      for (const auto& f : leftover) std::cerr << " --" << f;
+      std::cerr << "\n";
+      std::exit(2);
+    }
+  }
+
+  void emit(const Table& table) const {
+    if (csv)
+      table.print_csv(std::cout);
+    else
+      table.print(std::cout);
+  }
+};
+
+}  // namespace mp::bench

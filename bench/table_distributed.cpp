@@ -1,0 +1,96 @@
+// Experiment E16 (extension) — distributed-memory merging under the
+// alpha-beta network model: what the paper's partition buys on a cluster.
+//
+// The abstract claims the algorithm "is easily adaptable to additional
+// architectures"; on distributed memory the adaptation is direct — the
+// p-1 diagonal searches become a handful of tiny remote probes, after
+// which ONE personalized exchange delivers every rank exactly its
+// output slice's inputs (balanced at N/p per rank, total <= N elements).
+// The classical alternatives move multiples of N and/or concentrate
+// traffic: a binary merge tree ships ~(N/2)·log p with late-round
+// hotspots; gather-at-root ships 2N through one NIC.
+//
+// Flags: --elements N (per array, default 1Mi), --csv, --seed.
+
+#include <iostream>
+#include <vector>
+
+#include "dist/distributed_merge.hpp"
+#include "harness_common.hpp"
+#include "util/data_gen.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mp;
+  using namespace mp::bench;
+  using namespace mp::dist;
+
+  Harness h(argc, argv, "E16/distributed",
+            "distributed merge: traffic and modelled time vs ranks");
+  const std::size_t per_array =
+      static_cast<std::size_t>(h.cli.get_int("elements", 1 << 20));
+  h.check_flags();
+
+  const std::uint64_t n_bytes = 2ull * per_array * 4;
+
+  Table table({"shape", "ranks", "algorithm", "bytes_moved", "vs_N",
+               "rounds", "max_rank_recv", "modeled_ms"});
+  // uniform: co-ranks coincide with shard boundaries, so the exchange is
+  // nearly free (everything is already in place). disjoint: co-ranks
+  // diverge maximally — the exchange's worst case, still bounded by N.
+  for (Dist dist : {Dist::kUniform, Dist::kDisjointLow}) {
+  const auto input =
+      make_merge_input(dist, per_array, per_array, h.seed);
+  for (unsigned ranks : {2u, 8u, 64u}) {
+    const DistArray da = distribute(input.a, ranks);
+    const DistArray db = distribute(input.b, ranks);
+    struct Row {
+      const char* name;
+      DistMergeResult result;
+    };
+    Row rows[] = {
+        {"merge_path_exchange", merge_path_exchange(da, db)},
+        {"tree_merge", tree_merge(da, db)},
+        {"gather_at_root", gather_at_root(da, db)},
+    };
+    for (const Row& row : rows) {
+      const NetStats& net = row.result.net;
+      table.add_row({to_string(dist), std::to_string(ranks), row.name,
+                     fmt_bytes(net.bytes),
+                     fmt_ratio(static_cast<double>(net.bytes) /
+                               static_cast<double>(n_bytes)),
+                     fmt_count(net.rounds),
+                     fmt_bytes(net.max_rank_recv_bytes),
+                     fmt_double(net.modeled_time_us / 1e3, 2)});
+    }
+  }
+  }
+  h.emit(table);
+
+  if (!h.csv)
+    std::cout << "\ndistributed SORT by exact splitters (multiway co-rank "
+                 "+ one exchange):\n";
+  {
+    const auto values = make_unsorted_values(2 * per_array, h.seed);
+    Table sort_table({"ranks", "bytes_moved", "vs_N", "rounds",
+                      "max_rank_recv", "modeled_ms"});
+    for (unsigned ranks : {4u, 16u, 64u}) {
+      const auto result = distributed_sort(distribute(values, ranks));
+      const NetStats& net = result.net;
+      sort_table.add_row(
+          {std::to_string(ranks), fmt_bytes(net.bytes),
+           fmt_ratio(static_cast<double>(net.bytes) /
+                     static_cast<double>(n_bytes)),
+           fmt_count(net.rounds), fmt_bytes(net.max_rank_recv_bytes),
+           fmt_double(net.modeled_time_us / 1e3, 2)});
+    }
+    h.emit(sort_table);
+  }
+
+  if (!h.csv)
+    std::cout << "\nmerge-path exchange: near-zero traffic when co-ranks "
+                 "align with the block\ndistribution (uniform), bounded by "
+                 "~1x N on the adversarial shape — always 2\nrounds and "
+                 "balanced receives. The tree grows with log p; gather "
+                 "funnels\neverything through the root's NIC.\n";
+  return 0;
+}

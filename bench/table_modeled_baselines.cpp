@@ -1,0 +1,99 @@
+// Experiment E7 (modelled-time half) — Section V's latency claims priced
+// under the PRAM machine model. The balance table (table_balance) shows
+// max/mean element counts; this harness converts the same runs into
+// modelled time, making the "2X increase in latency" claim about
+// Shiloach-Vishkin and the log·log partition cost of Akl-Santoro directly
+// visible against Merge Path.
+//
+// Flags: --elements N (per array, default 1Mi), --csv, --seed.
+
+#include <iostream>
+#include <vector>
+
+#include <algorithm>
+#include <limits>
+
+#include "harness_common.hpp"
+#include "pram/baselines_sim.hpp"
+#include "pram/simulate.hpp"
+#include "util/data_gen.hpp"
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mp;
+  using namespace mp::bench;
+  using namespace mp::pram;
+
+  Harness h(argc, argv, "E7/Section V (modelled time)",
+            "baseline merge algorithms under the PRAM cost model");
+  const std::size_t per_array =
+      static_cast<std::size_t>(h.cli.get_int("elements", 1 << 20));
+  h.check_flags();
+
+  const auto model = MachineModel::paper_x5670();
+  Table table({"input_shape", "p", "algorithm", "modeled_ms",
+               "vs_merge_path", "barriers"});
+
+  // Skew case: B's values concentrate in a narrow band of A's range, so
+  // the whole of B ranks between two adjacent Shiloach-Vishkin A-block
+  // boundaries. The interleaving inside the band is still fine-grained
+  // (real comparisons, unlike fully disjoint inputs where merging
+  // degenerates to copying), which is what realises the latency cost of
+  // the imbalance rather than just the element-count skew.
+  const auto make_narrow_b = [&](std::size_t n) {
+    MergeInput input = make_merge_input(Dist::kUniform, n, n, h.seed);
+    const std::int32_t lo = std::numeric_limits<std::int32_t>::max() / 16 * 6;
+    const std::int32_t hi = std::numeric_limits<std::int32_t>::max() / 16 * 7;
+    Xoshiro256 rng(h.seed + 1);
+    for (auto& x : input.b)
+      x = lo + static_cast<std::int32_t>(
+                   rng.bounded(static_cast<std::uint64_t>(hi - lo)));
+    std::sort(input.b.begin(), input.b.end());
+    return input;
+  };
+
+  struct Shape {
+    const char* name;
+    MergeInput input;
+  };
+  Shape shapes[] = {
+      {"uniform",
+       make_merge_input(Dist::kUniform, per_array, per_array, h.seed)},
+      {"narrow_b", make_narrow_b(per_array)},
+  };
+  for (const Shape& shape : shapes) {
+    const MergeInput& input = shape.input;
+    for (unsigned p : {4u, 12u}) {
+      const SimResult mp_run =
+          simulate_parallel_merge(input.a, input.b, p, model);
+      struct Row {
+        const char* name;
+        SimResult sim;
+      };
+      const Row rows[] = {
+          {"merge_path", mp_run},
+          {"deo_sarkar", simulate_deo_sarkar(input.a, input.b, p, model)},
+          {"shiloach_vishkin",
+           simulate_shiloach_vishkin(input.a, input.b, p, model)},
+          {"akl_santoro",
+           simulate_akl_santoro(input.a, input.b, p, model)},
+          {"bitonic", simulate_bitonic_merge(input.a, input.b, p, model)},
+      };
+      for (const Row& row : rows) {
+        table.add_row({shape.name, std::to_string(p), row.name,
+                       fmt_double(row.sim.time_ns / 1e6, 3),
+                       fmt_ratio(row.sim.time_ns / mp_run.time_ns),
+                       fmt_count(row.sim.phases)});
+      }
+    }
+  }
+  h.emit(table);
+  if (!h.csv) {
+    std::cout
+        << "\npaper reference (Section V): [6] pays up to 2x latency from "
+           "imbalance on\nskewed inputs; [5] pays log p dependent partition "
+           "rounds; [2] matches Merge\nPath to constant factors; bitonic "
+           "pays the O(N logN) work blow-up.\n";
+  }
+  return 0;
+}

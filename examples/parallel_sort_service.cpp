@@ -1,0 +1,77 @@
+// Example: a batch sorting service — choosing between the plain parallel
+// merge sort (Section III) and the cache-efficient sort (Section IV.C).
+//
+//   build/examples/parallel_sort_service [--elements N]
+//
+// A telemetry pipeline receives batches of unsorted samples and must sort
+// them before downstream aggregation. The example sorts the same batch
+// with both algorithms, verifies they agree, and reports throughput —
+// showing how the cache budget is configured and when the segmented
+// variant is worth its extra data movement (machines where a miss is
+// expensive; see bench/fig_cache_spm for the simulated-miss evidence).
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "core/mergepath.hpp"
+#include "util/cli.hpp"
+#include "util/data_gen.hpp"
+#include "util/hw.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mp;
+  Cli cli(argc, argv);
+  const auto elements =
+      static_cast<std::size_t>(cli.get_int("elements", 4 << 20));
+
+  const auto batch = make_unsorted_values(elements, 2026);
+  std::cout << "batch: " << elements << " samples ("
+            << fmt_bytes(elements * sizeof(std::int32_t)) << ")\n"
+            << "host:  " << describe(host_info()) << "\n\n";
+
+  // Plain parallel merge sort: p block sorts + flattened merge rounds.
+  auto plain = batch;
+  Timer timer;
+  parallel_merge_sort(std::span<std::int32_t>(plain));
+  const double plain_s = timer.seconds();
+  std::cout << "parallel_merge_sort:          " << plain_s * 1e3 << " ms ("
+            << fmt_double(static_cast<double>(elements) / plain_s / 1e6, 1)
+            << " Melem/s)\n";
+
+  // Cache-efficient sort: L1-sized blocks, segmented merge rounds.
+  auto cache_sorted = batch;
+  CacheSortConfig config;
+  config.cache_bytes = host_info().l1d_bytes();
+  timer.reset();
+  cache_efficient_parallel_sort(std::span<std::int32_t>(cache_sorted),
+                                config);
+  const double cache_s = timer.seconds();
+  std::cout << "cache_efficient_parallel_sort: " << cache_s * 1e3 << " ms ("
+            << fmt_double(static_cast<double>(elements) / cache_s / 1e6, 1)
+            << " Melem/s), cache budget "
+            << fmt_bytes(config.cache_bytes) << "\n";
+
+  // Reference: std::sort.
+  auto reference = batch;
+  timer.reset();
+  std::sort(reference.begin(), reference.end());
+  std::cout << "std::sort (1 thread):          " << timer.seconds() * 1e3
+            << " ms\n\n";
+
+  const bool ok = plain == reference && cache_sorted == reference;
+  std::cout << "all three outputs identical: " << std::boolalpha << ok
+            << "\n";
+  if (!ok) return 1;
+
+  std::cout << "\nnote: on big multi-socket machines the segmented variant "
+               "trades ~30% more\ndata movement for an in-cache working "
+               "set; on this host the hardware\nprefetcher already hides "
+               "the streaming misses, which is why the paper's own\nx86 "
+               "evaluation used the basic algorithm (Section VI) and kept "
+               "the segmented\none for simple-cache manycores "
+               "(Section VII).\n";
+  return 0;
+}

@@ -1,0 +1,35 @@
+#pragma once
+/// \file baselines.hpp
+/// Umbrella header for the related-work baselines (DESIGN.md S11-S15).
+
+#include "baselines/akl_santoro.hpp"       // IWYU pragma: export
+#include "baselines/bitonic.hpp"           // IWYU pragma: export
+#include "baselines/deo_sarkar.hpp"        // IWYU pragma: export
+#include "baselines/naive_split.hpp"       // IWYU pragma: export
+#include "baselines/radix_sort.hpp"        // IWYU pragma: export
+#include "baselines/shiloach_vishkin.hpp"  // IWYU pragma: export
+
+namespace mp::baselines {
+
+/// Identifier list used by benches to iterate the comparable (correct)
+/// parallel merge baselines.
+enum class MergeAlgo {
+  kMergePath,
+  kShiloachVishkin,
+  kAklSantoro,
+  kDeoSarkar,
+  kBitonic,
+};
+
+inline const char* to_string(MergeAlgo algo) {
+  switch (algo) {
+    case MergeAlgo::kMergePath: return "merge_path";
+    case MergeAlgo::kShiloachVishkin: return "shiloach_vishkin";
+    case MergeAlgo::kAklSantoro: return "akl_santoro";
+    case MergeAlgo::kDeoSarkar: return "deo_sarkar";
+    case MergeAlgo::kBitonic: return "bitonic";
+  }
+  return "unknown";
+}
+
+}  // namespace mp::baselines

@@ -1,0 +1,115 @@
+#include "cachesim/cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace mp::cachesim {
+namespace {
+
+bool is_power_of_two(std::uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+}  // namespace
+
+bool CacheConfig::valid() const {
+  // Set count need not be a power of two (the index is a modulo), which
+  // lets experiments sweep associativity at constant capacity — e.g. a
+  // 12 KiB cache at 1/2/3/4/6 ways for the Section IV.B 3-way claim.
+  return line_bytes > 0 && is_power_of_two(line_bytes) && associativity > 0 &&
+         size_bytes >= static_cast<std::uint64_t>(line_bytes) * associativity &&
+         size_bytes % (static_cast<std::uint64_t>(line_bytes) *
+                       associativity) ==
+             0;
+}
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  MP_CHECK(config_.valid());
+  ways_.resize(config_.num_sets() * config_.associativity);
+}
+
+std::uint64_t Cache::access(std::uint64_t addr, std::uint32_t bytes,
+                            bool write) {
+  MP_CHECK(bytes > 0);
+  const std::uint64_t line = config_.line_bytes;
+  const std::uint64_t first = addr / line;
+  const std::uint64_t last = (addr + bytes - 1) / line;
+  std::uint64_t misses = 0;
+  for (std::uint64_t l = first; l <= last; ++l) {
+    ++stats_.accesses;
+    if (write)
+      ++stats_.writes;
+    else
+      ++stats_.reads;
+    const bool hit = touch_line(l, write);
+    const bool shadow_hit =
+        config_.classify_misses ? shadow_touch(l) : false;
+    if (!hit) {
+      ++stats_.misses;
+      ++misses;
+      if (config_.classify_misses) {
+        if (!touched_.contains(l)) {
+          ++stats_.compulsory_misses;
+        } else if (shadow_hit) {
+          ++stats_.conflict_misses;
+        } else {
+          ++stats_.capacity_misses;
+        }
+      }
+    }
+    if (config_.classify_misses) touched_.insert(l);
+  }
+  return misses;
+}
+
+bool Cache::touch_line(std::uint64_t line_addr, bool /*write*/) {
+  const std::uint64_t sets = config_.num_sets();
+  const std::uint64_t set = line_addr % sets;
+  const std::uint64_t tag = line_addr / sets;
+  Way* base = &ways_[set * config_.associativity];
+  ++tick_;
+
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = tick_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;  // prefer an invalid way
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  if (victim->valid) ++stats_.evictions;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = tick_;
+  return false;
+}
+
+bool Cache::shadow_touch(std::uint64_t line_addr) {
+  auto it = shadow_map_.find(line_addr);
+  if (it != shadow_map_.end()) {
+    shadow_lru_.splice(shadow_lru_.begin(), shadow_lru_, it->second);
+    return true;
+  }
+  shadow_lru_.push_front(line_addr);
+  shadow_map_[line_addr] = shadow_lru_.begin();
+  if (shadow_lru_.size() > config_.num_lines()) {
+    shadow_map_.erase(shadow_lru_.back());
+    shadow_lru_.pop_back();
+  }
+  return false;
+}
+
+void Cache::reset() {
+  for (Way& way : ways_) way = Way{};
+  tick_ = 0;
+  stats_ = CacheStats{};
+  touched_.clear();
+  shadow_lru_.clear();
+  shadow_map_.clear();
+}
+
+void Cache::reset_stats() { stats_ = CacheStats{}; }
+
+}  // namespace mp::cachesim

@@ -1,0 +1,105 @@
+#pragma once
+/// \file cache.hpp
+/// Set-associative LRU cache simulator.
+///
+/// Substrate for the Section IV experiments (DESIGN.md S10, E4/E5): the
+/// paper's cache claims — Algorithm 2's working set stays resident, and
+/// "3-way associativity suffices to guarantee collision freedom" — are
+/// about hit/miss behaviour, which this model measures exactly without
+/// needing hardware performance counters.
+///
+/// Misses are classified three ways, in the standard manner:
+///  - compulsory: the line was never touched before;
+///  - conflict:   a same-capacity fully-associative LRU cache (simulated in
+///                shadow) would have hit;
+///  - capacity:   everything else.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace mp::cachesim {
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 8;  ///< ways per set
+  bool classify_misses = true;      ///< maintain the shadow FA cache
+
+  std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const {
+    const std::uint64_t lines = num_lines();
+    return associativity == 0 ? 0 : lines / associativity;
+  }
+  bool valid() const;
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t compulsory_misses = 0;
+  std::uint64_t conflict_misses = 0;
+  std::uint64_t capacity_misses = 0;
+  std::uint64_t evictions = 0;
+
+  std::uint64_t hits() const { return accesses - misses; }
+  double miss_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(misses) /
+                               static_cast<double>(accesses);
+  }
+};
+
+/// One cache level with LRU replacement. Addresses are raw byte addresses
+/// (callers lay out virtual arrays; see traced_merge.hpp).
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Accesses `bytes` bytes starting at `addr` (may span lines). Returns
+  /// the number of line misses incurred.
+  std::uint64_t access(std::uint64_t addr, std::uint32_t bytes, bool write);
+
+  std::uint64_t read(std::uint64_t addr, std::uint32_t bytes) {
+    return access(addr, bytes, false);
+  }
+  std::uint64_t write(std::uint64_t addr, std::uint32_t bytes) {
+    return access(addr, bytes, true);
+  }
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheConfig& config() const { return config_; }
+
+  /// Clears contents, the shadow cache, the first-touch set and statistics.
+  void reset();
+  /// Clears statistics only; contents stay warm.
+  void reset_stats();
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  ///< last-use timestamp
+    bool valid = false;
+  };
+
+  bool touch_line(std::uint64_t line_addr, bool write);
+  bool shadow_touch(std::uint64_t line_addr);
+
+  CacheConfig config_;
+  std::vector<Way> ways_;  ///< num_sets x associativity, row-major
+  std::uint64_t tick_ = 0;
+  CacheStats stats_;
+
+  // Miss classification state.
+  std::unordered_set<std::uint64_t> touched_;         // ever-seen lines
+  std::list<std::uint64_t> shadow_lru_;               // FA shadow, MRU front
+  std::unordered_map<std::uint64_t,
+                     std::list<std::uint64_t>::iterator>
+      shadow_map_;
+};
+
+}  // namespace mp::cachesim

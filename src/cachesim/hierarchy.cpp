@@ -1,0 +1,60 @@
+#include "cachesim/hierarchy.hpp"
+
+#include "util/assert.hpp"
+
+namespace mp::cachesim {
+
+HierarchyConfig HierarchyConfig::paper_x5670(std::uint64_t shared_bytes) {
+  HierarchyConfig config;
+  config.l1.size_bytes = 32u << 10;
+  config.l1.line_bytes = 64;
+  config.l1.associativity = 8;
+  config.l1.classify_misses = false;  // per-lane shadow caches add little
+  config.shared.size_bytes = shared_bytes;
+  config.shared.line_bytes = 64;
+  config.shared.associativity = 16;
+  config.shared.classify_misses = true;
+  return config;
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config, unsigned lanes)
+    : shared_(config.shared) {
+  MP_CHECK(lanes >= 1);
+  l1_.reserve(lanes);
+  for (unsigned i = 0; i < lanes; ++i) l1_.emplace_back(config.l1);
+}
+
+void CacheHierarchy::access(unsigned lane, std::uint64_t addr,
+                            std::uint32_t bytes, bool is_write) {
+  MP_CHECK(lane < l1_.size());
+  const std::uint64_t l1_misses = l1_[lane].access(addr, bytes, is_write);
+  // Only L1 line misses propagate (whole lines; the line count IS the
+  // access count at the next level).
+  if (l1_misses > 0) {
+    const std::uint32_t line = l1_[lane].config().line_bytes;
+    // Refill each missed line from the shared level.
+    const std::uint64_t first = addr / line;
+    const std::uint64_t last = (addr + bytes - 1) / line;
+    for (std::uint64_t l = first; l <= last; ++l)
+      shared_.access(l * line, line, is_write);
+  }
+}
+
+HierarchyStats CacheHierarchy::stats() const {
+  HierarchyStats out;
+  for (const Cache& c : l1_) {
+    const CacheStats& s = c.stats();
+    out.l1.accesses += s.accesses;
+    out.l1.reads += s.reads;
+    out.l1.writes += s.writes;
+    out.l1.misses += s.misses;
+    out.l1.compulsory_misses += s.compulsory_misses;
+    out.l1.conflict_misses += s.conflict_misses;
+    out.l1.capacity_misses += s.capacity_misses;
+    out.l1.evictions += s.evictions;
+  }
+  out.shared = shared_.stats();
+  return out;
+}
+
+}  // namespace mp::cachesim

@@ -1,0 +1,74 @@
+#pragma once
+/// \file hierarchy.hpp
+/// Two-level cache hierarchy: private per-lane L1 caches over a shared
+/// last-level cache — the x86 shape of the paper's Section VI testbed
+/// (private 32 KiB L1d per core, shared L3), as opposed to the shared
+/// simple cache of the Hypercore/PRAM discussion.
+///
+/// Coherence: the merge algorithms write disjoint output regions and only
+/// share read-only inputs, so no invalidation traffic is modelled — which
+/// is itself one of the paper's selling points (no inter-core
+/// communication). The hierarchy counts, per level, the same hit/miss
+/// statistics as the single-level simulator.
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+
+namespace mp::cachesim {
+
+struct HierarchyConfig {
+  CacheConfig l1;      ///< geometry of EACH private L1
+  CacheConfig shared;  ///< geometry of the shared LLC
+
+  /// The paper machine's shape: 32 KiB 8-way private L1d, 12 MiB 16-way
+  /// shared L3 (scaled variants are often more useful in experiments —
+  /// pass a smaller shared size for tractable inputs).
+  static HierarchyConfig paper_x5670(std::uint64_t shared_bytes = 12u << 20);
+};
+
+struct HierarchyStats {
+  CacheStats l1;      ///< aggregated over all private L1s
+  CacheStats shared;  ///< the LLC (sees only L1 misses)
+
+  /// Accesses that missed every level (DRAM traffic).
+  std::uint64_t dram_accesses() const { return shared.misses; }
+};
+
+/// Private-L1s + shared-LLC memory model, pluggable into the lockstep
+/// kernels (read/write take the issuing lane).
+class CacheHierarchy {
+ public:
+  CacheHierarchy(const HierarchyConfig& config, unsigned lanes);
+
+  void read(unsigned lane, std::uint64_t addr, std::uint32_t bytes) {
+    access(lane, addr, bytes, false);
+  }
+  void write(unsigned lane, std::uint64_t addr, std::uint32_t bytes) {
+    access(lane, addr, bytes, true);
+  }
+  void access(unsigned lane, std::uint64_t addr, std::uint32_t bytes,
+              bool is_write);
+
+  HierarchyStats stats() const;
+  unsigned lanes() const { return static_cast<unsigned>(l1_.size()); }
+
+ private:
+  std::vector<Cache> l1_;
+  Cache shared_;
+};
+
+/// Adapter making a single shared Cache usable as a lockstep Memory (all
+/// lanes hit the same cache — the CREW-PRAM / Hypercore shape).
+struct SharedCacheMemory {
+  Cache& cache;
+  void read(unsigned, std::uint64_t addr, std::uint32_t bytes) {
+    cache.read(addr, bytes);
+  }
+  void write(unsigned, std::uint64_t addr, std::uint32_t bytes) {
+    cache.write(addr, bytes);
+  }
+};
+
+}  // namespace mp::cachesim

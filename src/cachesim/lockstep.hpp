@@ -1,0 +1,229 @@
+#pragma once
+/// \file lockstep.hpp
+/// Memory-model-generic lockstep merge kernels.
+///
+/// The traced algorithms (trace_*_merge) are written once here as
+/// templates over a Memory policy:
+///
+///   struct Memory {
+///     void read(unsigned lane, std::uint64_t addr, std::uint32_t bytes);
+///     void write(unsigned lane, std::uint64_t addr, std::uint32_t bytes);
+///   };
+///
+/// Two instantiations exist: a single shared cache (all lanes hit the same
+/// Cache — the CREW-PRAM/Hypercore shape, traced_merge.cpp) and a
+/// private-L1 + shared-LLC hierarchy (the x86 shape, hierarchy.hpp). The
+/// PRAM-style interleaving — every simulated core performs one step per
+/// global cycle, round-robin — is the same for both.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mp::cachesim::detail {
+
+constexpr std::uint32_t kElemBytes = 4;
+
+/// Lockstep binary searches: one search per lane, all advancing one probe
+/// per cycle. Indices are window-relative; addr_/val_ translate them.
+struct LockstepSearch {
+  struct Lane {
+    std::size_t lo = 0, hi = 0, diag = 0;
+  };
+  std::vector<Lane> lanes;
+
+  template <typename Mem, typename AddrA, typename AddrB, typename ValA,
+            typename ValB>
+  std::uint64_t run(Mem& mem, AddrA addr_a, AddrB addr_b, ValA val_a,
+                    ValB val_b) {
+    std::uint64_t cycles = 0;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        Lane& lane = lanes[k];
+        if (lane.lo >= lane.hi) continue;
+        const std::size_t mid = lane.lo + (lane.hi - lane.lo) / 2;
+        const std::size_t bj = lane.diag - mid - 1;
+        mem.read(static_cast<unsigned>(k), addr_a(mid), kElemBytes);
+        mem.read(static_cast<unsigned>(k), addr_b(bj), kElemBytes);
+        if (!(val_b(bj) < val_a(mid)))
+          lane.lo = mid + 1;
+        else
+          lane.hi = mid;
+        any = true;
+      }
+      if (any) ++cycles;
+    }
+    return cycles;
+  }
+};
+
+/// Lockstep bounded merges: one output element per lane per cycle.
+struct LockstepMerge {
+  struct Lane {
+    std::size_t i = 0, j = 0;  // window-relative positions
+    std::size_t out = 0;       // absolute output element index
+    std::size_t left = 0;      // remaining steps
+  };
+  std::vector<Lane> lanes;
+
+  template <typename Mem, typename AddrA, typename AddrB, typename AddrOut,
+            typename ValA, typename ValB>
+  std::uint64_t run(Mem& mem, std::size_t win_a, std::size_t win_b,
+                    AddrA addr_a, AddrB addr_b, AddrOut addr_out, ValA val_a,
+                    ValB val_b) {
+    std::uint64_t cycles = 0;
+    bool any = true;
+    while (any) {
+      any = false;
+      for (std::size_t k = 0; k < lanes.size(); ++k) {
+        Lane& lane = lanes[k];
+        if (lane.left == 0) continue;
+        const auto lane_id = static_cast<unsigned>(k);
+        const bool has_a = lane.i < win_a;
+        const bool has_b = lane.j < win_b;
+        MP_ASSERT(has_a || has_b);
+        bool take_b;
+        if (has_a && has_b) {
+          mem.read(lane_id, addr_a(lane.i), kElemBytes);
+          mem.read(lane_id, addr_b(lane.j), kElemBytes);
+          take_b = val_b(lane.j) < val_a(lane.i);
+        } else if (has_a) {
+          mem.read(lane_id, addr_a(lane.i), kElemBytes);
+          take_b = false;
+        } else {
+          mem.read(lane_id, addr_b(lane.j), kElemBytes);
+          take_b = true;
+        }
+        if (take_b)
+          ++lane.j;
+        else
+          ++lane.i;
+        mem.write(lane_id, addr_out(lane.out), kElemBytes);
+        ++lane.out;
+        --lane.left;
+        any = true;
+      }
+      if (any) ++cycles;
+    }
+    return cycles;
+  }
+};
+
+/// Full Algorithm 1 trace: lockstep partition searches, then lockstep
+/// merges. Returns simulated cycles.
+template <typename Mem>
+std::uint64_t run_parallel_merge_trace(Mem& mem,
+                                       const std::vector<std::int32_t>& a,
+                                       const std::vector<std::int32_t>& b,
+                                       unsigned lanes, std::uint64_t a_base,
+                                       std::uint64_t b_base,
+                                       std::uint64_t out_base) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const std::size_t total = m + n;
+  std::uint64_t cycles = 0;
+
+  auto addr_a = [&](std::size_t i) { return a_base + i * kElemBytes; };
+  auto addr_b = [&](std::size_t j) { return b_base + j * kElemBytes; };
+  auto addr_out = [&](std::size_t o) { return out_base + o * kElemBytes; };
+  auto val_a = [&](std::size_t i) { return a[i]; };
+  auto val_b = [&](std::size_t j) { return b[j]; };
+
+  LockstepSearch search;
+  search.lanes.resize(lanes);
+  for (unsigned k = 0; k < lanes; ++k) {
+    const std::size_t diag = k * total / lanes;
+    search.lanes[k].diag = diag;
+    search.lanes[k].lo = diag > n ? diag - n : 0;
+    search.lanes[k].hi = diag < m ? diag : m;
+  }
+  cycles += search.run(mem, addr_a, addr_b, val_a, val_b);
+
+  LockstepMerge merge;
+  merge.lanes.resize(lanes);
+  for (unsigned k = 0; k < lanes; ++k) {
+    const std::size_t diag = k * total / lanes;
+    merge.lanes[k].i = search.lanes[k].lo;
+    merge.lanes[k].j = diag - search.lanes[k].lo;
+    merge.lanes[k].out = diag;
+    merge.lanes[k].left = (k + 1ull) * total / lanes - diag;
+  }
+  cycles += merge.run(mem, m, n, addr_a, addr_b, addr_out, val_a, val_b);
+  return cycles;
+}
+
+/// Windowed segmented trace (Algorithm 2's path segmentation applied to
+/// the source arrays in place). Returns simulated cycles.
+template <typename Mem>
+std::uint64_t run_segmented_merge_trace(Mem& mem,
+                                        const std::vector<std::int32_t>& a,
+                                        const std::vector<std::int32_t>& b,
+                                        unsigned lanes,
+                                        std::size_t segment_length,
+                                        std::uint64_t a_base,
+                                        std::uint64_t b_base,
+                                        std::uint64_t out_base) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const std::size_t total = m + n;
+  const std::size_t L = segment_length;
+  std::uint64_t cycles = 0;
+
+  std::size_t a_done = 0, b_done = 0, out_pos = 0;
+  while (out_pos < total) {
+    const std::size_t seg = std::min(L, total - out_pos);
+    const std::size_t win_a = std::min(L, m - a_done);
+    const std::size_t win_b = std::min(L, n - b_done);
+
+    auto addr_a = [&](std::size_t i) {
+      return a_base + (a_done + i) * kElemBytes;
+    };
+    auto addr_b = [&](std::size_t j) {
+      return b_base + (b_done + j) * kElemBytes;
+    };
+    auto addr_out = [&](std::size_t o) {
+      return out_base + o * kElemBytes;
+    };
+    auto val_a = [&](std::size_t i) { return a[a_done + i]; };
+    auto val_b = [&](std::size_t j) { return b[b_done + j]; };
+
+    LockstepSearch search;
+    search.lanes.resize(lanes);
+    for (unsigned k = 0; k < lanes; ++k) {
+      const std::size_t diag = k * seg / lanes;
+      search.lanes[k].diag = diag;
+      search.lanes[k].lo = diag > win_b ? diag - win_b : 0;
+      search.lanes[k].hi = diag < win_a ? diag : win_a;
+    }
+    cycles += search.run(mem, addr_a, addr_b, val_a, val_b);
+
+    LockstepMerge merge;
+    merge.lanes.resize(lanes);
+    for (unsigned k = 0; k < lanes; ++k) {
+      const std::size_t diag = k * seg / lanes;
+      merge.lanes[k].i = search.lanes[k].lo;
+      merge.lanes[k].j = diag - search.lanes[k].lo;
+      merge.lanes[k].out = out_pos + diag;
+      merge.lanes[k].left = (k + 1ull) * seg / lanes - diag;
+    }
+    cycles +=
+        merge.run(mem, win_a, win_b, addr_a, addr_b, addr_out, val_a, val_b);
+
+    std::size_t a_used = 0, b_used = 0;
+    for (unsigned k = 0; k < lanes; ++k) {
+      const std::size_t diag = k * seg / lanes;
+      a_used += merge.lanes[k].i - search.lanes[k].lo;
+      b_used += merge.lanes[k].j - (diag - search.lanes[k].lo);
+    }
+    a_done += a_used;
+    b_done += b_used;
+    out_pos += seg;
+  }
+  return cycles;
+}
+
+}  // namespace mp::cachesim::detail

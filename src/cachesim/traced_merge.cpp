@@ -1,0 +1,262 @@
+#include "cachesim/traced_merge.hpp"
+
+#include <algorithm>
+
+#include "cachesim/lockstep.hpp"
+#include "util/assert.hpp"
+
+namespace mp::cachesim {
+namespace {
+
+using detail::kElemBytes;
+using detail::LockstepMerge;
+using detail::LockstepSearch;
+
+}  // namespace
+
+TraceResult trace_sequential_merge(const std::vector<std::int32_t>& a,
+                                   const std::vector<std::int32_t>& b,
+                                   const MergeLayout& layout, Cache& cache) {
+  return trace_parallel_merge(a, b, 1, layout, cache);
+}
+
+TraceResult trace_parallel_merge(const std::vector<std::int32_t>& a,
+                                 const std::vector<std::int32_t>& b,
+                                 unsigned lanes, const MergeLayout& layout,
+                                 Cache& cache) {
+  MP_CHECK(lanes >= 1);
+  SharedCacheMemory mem{cache};
+  TraceResult result;
+  result.cycles = detail::run_parallel_merge_trace(
+      mem, a, b, lanes, layout.a_base, layout.b_base, layout.out_base);
+  result.stats = cache.stats();
+  return result;
+}
+
+TraceResult trace_segmented_merge(const std::vector<std::int32_t>& a,
+                                  const std::vector<std::int32_t>& b,
+                                  unsigned lanes, std::size_t segment_length,
+                                  const MergeLayout& layout, Cache& cache) {
+  MP_CHECK(lanes >= 1 && segment_length >= 1);
+  SharedCacheMemory mem{cache};
+  TraceResult result;
+  result.cycles = detail::run_segmented_merge_trace(
+      mem, a, b, lanes, segment_length, layout.a_base, layout.b_base,
+      layout.out_base);
+  result.stats = cache.stats();
+  return result;
+}
+
+TraceResult trace_sort_rounds(const std::vector<std::int32_t>& values,
+                              unsigned lanes, std::size_t block_elems,
+                              std::size_t segment_length,
+                              const MergeLayout& layout, Cache& cache) {
+  MP_CHECK(lanes >= 1 && block_elems >= 1);
+  const std::size_t n = values.size();
+  TraceResult result;
+
+  // Sorted blocks (in-memory; the block-sort traffic is identical for
+  // both sort variants and is therefore outside this comparison).
+  struct Block {
+    std::size_t begin, end;
+  };
+  std::vector<Block> blocks;
+  std::vector<std::int32_t> data = values;
+  for (std::size_t begin = 0; begin < n; begin += block_elems) {
+    const std::size_t end = std::min(begin + block_elems, n);
+    std::sort(data.begin() + static_cast<std::ptrdiff_t>(begin),
+              data.begin() + static_cast<std::ptrdiff_t>(end));
+    blocks.push_back({begin, end});
+  }
+
+  // Merge tree: each round's pairs alternate between the two virtual
+  // buffers (src rounds even at layout.a_base-side, dst at out_base),
+  // mirroring the real ping-pong. Addresses: element e of the current
+  // source buffer lives at src_base + e*4.
+  std::uint64_t src_base = layout.a_base;
+  std::uint64_t dst_base = layout.out_base;
+  while (blocks.size() > 1) {
+    std::vector<Block> next;
+    for (std::size_t t = 0; 2 * t < blocks.size(); ++t) {
+      const Block a = blocks[2 * t];
+      if (2 * t + 1 >= blocks.size()) {
+        // Unpaired trailing block: traced copy to the other buffer.
+        for (std::size_t e = a.begin; e < a.end; ++e) {
+          cache.read(src_base + e * 4, 4);
+          cache.write(dst_base + e * 4, 4);
+          ++result.cycles;
+        }
+        next.push_back(a);
+        continue;
+      }
+      const Block b = blocks[2 * t + 1];
+      const std::vector<std::int32_t> lhs(
+          data.begin() + static_cast<std::ptrdiff_t>(a.begin),
+          data.begin() + static_cast<std::ptrdiff_t>(a.end));
+      const std::vector<std::int32_t> rhs(
+          data.begin() + static_cast<std::ptrdiff_t>(b.begin),
+          data.begin() + static_cast<std::ptrdiff_t>(b.end));
+      SharedCacheMemory mem{cache};
+      if (segment_length == 0) {
+        result.cycles += detail::run_parallel_merge_trace(
+            mem, lhs, rhs, lanes, src_base + a.begin * 4,
+            src_base + b.begin * 4, dst_base + a.begin * 4);
+      } else {
+        result.cycles += detail::run_segmented_merge_trace(
+            mem, lhs, rhs, lanes, segment_length, src_base + a.begin * 4,
+            src_base + b.begin * 4, dst_base + a.begin * 4);
+      }
+      // Keep the data itself merged so later rounds trace real paths.
+      std::merge(lhs.begin(), lhs.end(), rhs.begin(), rhs.end(),
+                 data.begin() + static_cast<std::ptrdiff_t>(a.begin));
+      next.push_back({a.begin, b.end});
+    }
+    blocks = std::move(next);
+    std::swap(src_base, dst_base);
+  }
+  result.stats = cache.stats();
+  return result;
+}
+
+HierTraceResult trace_parallel_merge_hier(const std::vector<std::int32_t>& a,
+                                          const std::vector<std::int32_t>& b,
+                                          unsigned lanes,
+                                          const MergeLayout& layout,
+                                          CacheHierarchy& hierarchy) {
+  MP_CHECK(lanes >= 1 && lanes <= hierarchy.lanes());
+  HierTraceResult result;
+  result.cycles = detail::run_parallel_merge_trace(
+      hierarchy, a, b, lanes, layout.a_base, layout.b_base, layout.out_base);
+  result.stats = hierarchy.stats();
+  return result;
+}
+
+HierTraceResult trace_segmented_merge_hier(
+    const std::vector<std::int32_t>& a, const std::vector<std::int32_t>& b,
+    unsigned lanes, std::size_t segment_length, const MergeLayout& layout,
+    CacheHierarchy& hierarchy) {
+  MP_CHECK(lanes >= 1 && lanes <= hierarchy.lanes());
+  HierTraceResult result;
+  result.cycles = detail::run_segmented_merge_trace(
+      hierarchy, a, b, lanes, segment_length, layout.a_base, layout.b_base,
+      layout.out_base);
+  result.stats = hierarchy.stats();
+  return result;
+}
+
+TraceResult trace_segmented_staged_merge(const std::vector<std::int32_t>& a,
+                                         const std::vector<std::int32_t>& b,
+                                         unsigned lanes,
+                                         std::size_t segment_length,
+                                         const MergeLayout& layout,
+                                         std::uint64_t stage_base,
+                                         Cache& cache) {
+  MP_CHECK(lanes >= 1 && segment_length >= 1);
+  SharedCacheMemory mem{cache};
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  const std::size_t total = m + n;
+  const std::size_t L = segment_length;
+  TraceResult result;
+
+  // Staging layout: [ring A | ring B | segment out], L elements each — the
+  // 3L = C working set of Algorithm 2.
+  const std::uint64_t ring_a = stage_base;
+  const std::uint64_t ring_b = stage_base + L * kElemBytes;
+  const std::uint64_t seg_out = stage_base + 2 * L * kElemBytes;
+
+  std::size_t a_done = 0, b_done = 0, out_pos = 0;
+  std::size_t a_staged = 0, b_staged = 0;
+  while (out_pos < total) {
+    // Step 1 (serial, attributed to lane 0): refill the rings.
+    const std::size_t want_a = std::min(L, m - a_done);
+    while (a_staged - a_done < want_a) {
+      mem.read(0, layout.a_base + a_staged * kElemBytes, kElemBytes);
+      mem.write(0, ring_a + (a_staged % L) * kElemBytes, kElemBytes);
+      ++a_staged;
+      ++result.cycles;
+    }
+    const std::size_t want_b = std::min(L, n - b_done);
+    while (b_staged - b_done < want_b) {
+      mem.read(0, layout.b_base + b_staged * kElemBytes, kElemBytes);
+      mem.write(0, ring_b + (b_staged % L) * kElemBytes, kElemBytes);
+      ++b_staged;
+      ++result.cycles;
+    }
+
+    const std::size_t seg = std::min(L, total - out_pos);
+    const std::size_t win_a = a_staged - a_done;
+    const std::size_t win_b = b_staged - b_done;
+
+    auto addr_a = [&](std::size_t i) {
+      return ring_a + ((a_done + i) % L) * kElemBytes;
+    };
+    auto addr_b = [&](std::size_t j) {
+      return ring_b + ((b_done + j) % L) * kElemBytes;
+    };
+    auto addr_seg = [&](std::size_t o) {
+      return seg_out + (o - out_pos) * kElemBytes;
+    };
+    auto val_a = [&](std::size_t i) { return a[a_done + i]; };
+    auto val_b = [&](std::size_t j) { return b[b_done + j]; };
+
+    // Step 2: lockstep partition + merge into the staging output.
+    LockstepSearch search;
+    search.lanes.resize(lanes);
+    for (unsigned k = 0; k < lanes; ++k) {
+      const std::size_t diag = k * seg / lanes;
+      search.lanes[k].diag = diag;
+      search.lanes[k].lo = diag > win_b ? diag - win_b : 0;
+      search.lanes[k].hi = diag < win_a ? diag : win_a;
+    }
+    result.cycles += search.run(mem, addr_a, addr_b, val_a, val_b);
+
+    LockstepMerge merge;
+    merge.lanes.resize(lanes);
+    for (unsigned k = 0; k < lanes; ++k) {
+      const std::size_t diag = k * seg / lanes;
+      merge.lanes[k].i = search.lanes[k].lo;
+      merge.lanes[k].j = diag - search.lanes[k].lo;
+      merge.lanes[k].out = out_pos + diag;
+      merge.lanes[k].left = (k + 1ull) * seg / lanes - diag;
+    }
+    result.cycles += merge.run(mem, win_a, win_b, addr_a, addr_b, addr_seg,
+                               val_a, val_b);
+
+    std::size_t a_used = 0, b_used = 0;
+    for (unsigned k = 0; k < lanes; ++k) {
+      const std::size_t diag = k * seg / lanes;
+      a_used += merge.lanes[k].i - search.lanes[k].lo;
+      b_used += merge.lanes[k].j - (diag - search.lanes[k].lo);
+    }
+    a_done += a_used;
+    b_done += b_used;
+
+    // Step 3: lockstep write-back of the merged segment to memory.
+    {
+      std::vector<std::size_t> pos(lanes), end(lanes);
+      for (unsigned k = 0; k < lanes; ++k) {
+        pos[k] = k * seg / lanes;
+        end[k] = (k + 1ull) * seg / lanes;
+      }
+      bool any = true;
+      while (any) {
+        any = false;
+        for (unsigned k = 0; k < lanes; ++k) {
+          if (pos[k] >= end[k]) continue;
+          mem.read(k, seg_out + pos[k] * kElemBytes, kElemBytes);
+          mem.write(k, layout.out_base + (out_pos + pos[k]) * kElemBytes,
+                    kElemBytes);
+          ++pos[k];
+          any = true;
+        }
+        if (any) ++result.cycles;
+      }
+    }
+    out_pos += seg;
+  }
+  result.stats = cache.stats();
+  return result;
+}
+
+}  // namespace mp::cachesim

@@ -1,0 +1,106 @@
+#pragma once
+/// \file traced_merge.hpp
+/// Trace-driven merge kernels: the library's merge algorithms re-expressed
+/// as explicit memory-access sequences fed to the cache simulator.
+///
+/// Parallel execution on a shared cache is emulated in PRAM-style lockstep:
+/// each simulated core performs one step of its work per global cycle,
+/// round-robin, which is the access interleaving a CREW PRAM (and,
+/// approximately, an SMT/multi-core sharing a cache level) produces. All
+/// kernels operate on *virtual* base addresses chosen by the experiment, so
+/// array placement — which determines conflict behaviour — is a controlled
+/// variable (experiment E5 aligns A, B and S to the same set index to
+/// reproduce the worst case behind the paper's 3-way-associativity remark).
+///
+/// Kernels:
+///  - trace_sequential_merge():  single core, plain merge.
+///  - trace_parallel_merge():    Algorithm 1, p cores in lockstep.
+///  - trace_segmented_merge():   the merge path processed in L-length
+///    segments, all cores in lockstep inside a segment ("windowed" SPM:
+///    operates on the source arrays in place — the variant whose working
+///    set is three L-long windows, the shape the associativity claim is
+///    about).
+///  - trace_segmented_staged_merge(): full Algorithm 2 with cyclic staging
+///    buffers placed at a caller-chosen address.
+///
+/// Element values are required (not just sizes) because the merge path —
+/// and therefore the address sequence — is data-dependent.
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/hierarchy.hpp"
+
+namespace mp::cachesim {
+
+/// Virtual placement of the three arrays of a merge. Sizes are element
+/// counts of the int32 workload arrays.
+struct MergeLayout {
+  std::uint64_t a_base = 0;
+  std::uint64_t b_base = 0;
+  std::uint64_t out_base = 0;
+  static constexpr std::uint32_t kElem = 4;
+};
+
+/// Result of a traced run: simulator stats captured after the run plus the
+/// number of simulated "cycles" (lockstep rounds), a crude time proxy.
+struct TraceResult {
+  CacheStats stats;
+  std::uint64_t cycles = 0;
+};
+
+TraceResult trace_sequential_merge(const std::vector<std::int32_t>& a,
+                                   const std::vector<std::int32_t>& b,
+                                   const MergeLayout& layout, Cache& cache);
+
+TraceResult trace_parallel_merge(const std::vector<std::int32_t>& a,
+                                 const std::vector<std::int32_t>& b,
+                                 unsigned lanes, const MergeLayout& layout,
+                                 Cache& cache);
+
+TraceResult trace_segmented_merge(const std::vector<std::int32_t>& a,
+                                  const std::vector<std::int32_t>& b,
+                                  unsigned lanes, std::size_t segment_length,
+                                  const MergeLayout& layout, Cache& cache);
+
+TraceResult trace_segmented_staged_merge(const std::vector<std::int32_t>& a,
+                                         const std::vector<std::int32_t>& b,
+                                         unsigned lanes,
+                                         std::size_t segment_length,
+                                         const MergeLayout& layout,
+                                         std::uint64_t stage_base,
+                                         Cache& cache);
+
+/// Traced merge-sort rounds (experiment E6's cache angle): the input is
+/// block-sorted in memory (identical work for both variants, not traced),
+/// then the binary merge tree is traced round by round on `cache` — each
+/// pair merged with the basic parallel algorithm when segment_length == 0,
+/// or with the windowed segmented algorithm (L = segment_length)
+/// otherwise. This isolates exactly the traffic Section IV.C's
+/// cache-efficient sort changes: the merge rounds.
+TraceResult trace_sort_rounds(const std::vector<std::int32_t>& values,
+                              unsigned lanes, std::size_t block_elems,
+                              std::size_t segment_length,
+                              const MergeLayout& layout, Cache& cache);
+
+/// Hierarchy variants: the same traced algorithms on private per-lane L1s
+/// over a shared LLC (the x86 shape; see hierarchy.hpp). The hierarchy
+/// must have been constructed with at least `lanes` lanes.
+struct HierTraceResult {
+  HierarchyStats stats;
+  std::uint64_t cycles = 0;
+};
+
+HierTraceResult trace_parallel_merge_hier(const std::vector<std::int32_t>& a,
+                                          const std::vector<std::int32_t>& b,
+                                          unsigned lanes,
+                                          const MergeLayout& layout,
+                                          CacheHierarchy& hierarchy);
+
+HierTraceResult trace_segmented_merge_hier(
+    const std::vector<std::int32_t>& a, const std::vector<std::int32_t>& b,
+    unsigned lanes, std::size_t segment_length, const MergeLayout& layout,
+    CacheHierarchy& hierarchy);
+
+}  // namespace mp::cachesim

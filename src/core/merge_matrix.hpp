@@ -1,0 +1,107 @@
+#pragma once
+/// \file merge_matrix.hpp
+/// Explicit Merge Matrix and Merge Path construction (Section II of the
+/// paper, Figures 1-2), materialised in O(|A|·|B|) space.
+///
+/// This is a *reference model*, not a production algorithm: the whole point
+/// of the paper is that neither the matrix nor the path needs to be built
+/// (Theorem 14). The test suite uses this model on small inputs to verify,
+/// exhaustively, the paper's structural claims — Lemmas 1-4, Propositions
+/// 10-13, Corollary 12 — and to cross-check the binary-search
+/// implementation in merge_path.hpp against ground truth.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/merge_path.hpp"
+#include "util/assert.hpp"
+
+namespace mp {
+
+/// The binary Merge Matrix M[i,j] = A[i] > B[j] (Definition 1), stored
+/// densely. Indices are 0-based (the paper is 1-based).
+template <typename T, typename Comp = std::less<>>
+class MergeMatrix {
+ public:
+  MergeMatrix(std::vector<T> a, std::vector<T> b, Comp comp = {})
+      : a_(std::move(a)), b_(std::move(b)), comp_(comp),
+        cells_(a_.size() * b_.size()) {
+    for (std::size_t i = 0; i < a_.size(); ++i)
+      for (std::size_t j = 0; j < b_.size(); ++j)
+        cells_[i * b_.size() + j] = comp_(b_[j], a_[i]);  // A[i] > B[j]
+  }
+
+  std::size_t rows() const { return a_.size(); }
+  std::size_t cols() const { return b_.size(); }
+
+  bool at(std::size_t i, std::size_t j) const {
+    MP_ASSERT(i < rows() && j < cols());
+    return cells_[i * cols() + j];
+  }
+
+  /// Number of cross diagonals of the *grid* (path points run over
+  /// diagonals 0..rows()+cols()).
+  std::size_t grid_diagonals() const { return rows() + cols() + 1; }
+
+  /// Entries of matrix cross diagonal d (cells with i + j == d), ordered
+  /// from the bottom-left end (largest i, smallest j) to the top-right end
+  /// (smallest i, largest j). Read in this order the sequence is
+  /// monotonically non-increasing — all 1s then all 0s (Corollary 12) —
+  /// and the 1→0 transition is the path crossing (Proposition 13).
+  std::vector<bool> diagonal_entries(std::size_t d) const {
+    std::vector<bool> out;
+    if (rows() == 0 || cols() == 0) return out;
+    const std::size_t j0 = d >= rows() ? d - rows() + 1 : 0;
+    for (std::size_t j = j0; j <= d && j < cols(); ++j) {
+      const std::size_t i = d - j;
+      if (i >= rows()) continue;
+      out.push_back(at(i, j));
+    }
+    return out;
+  }
+
+  /// Constructs the Merge Path by direct simulation of the construction in
+  /// Section II.A: start at (0,0); at point (i,j), move right (consume B)
+  /// if A[i] > B[j], else move down (consume A); at the edges proceed in
+  /// the only possible direction. Returns all |A|+|B|+1 path points in
+  /// order.
+  std::vector<PathPoint> build_path() const {
+    std::vector<PathPoint> path;
+    path.reserve(rows() + cols() + 1);
+    std::size_t i = 0, j = 0;
+    path.push_back({0, 0});
+    while (i < rows() || j < cols()) {
+      if (i == rows()) {
+        ++j;  // bottom edge: only rightward remains
+      } else if (j == cols()) {
+        ++i;  // right edge: only downward remains
+      } else if (comp_(b_[j], a_[i])) {
+        ++j;  // M[i,j] = 1: A[i] > B[j], take B, move right
+      } else {
+        ++i;  // M[i,j] = 0: take A, move down
+      }
+      path.push_back({i, j});
+    }
+    return path;
+  }
+
+  /// Ground-truth intersection of the path with grid diagonal d, by linear
+  /// scan of the simulated path (Lemma 8 guarantees the d'th path point is
+  /// on diagonal d).
+  PathPoint path_point_reference(std::size_t d) const {
+    MP_ASSERT(d <= rows() + cols());
+    return build_path()[d];
+  }
+
+  const std::vector<T>& a() const { return a_; }
+  const std::vector<T>& b() const { return b_; }
+
+ private:
+  std::vector<T> a_;
+  std::vector<T> b_;
+  Comp comp_;
+  std::vector<bool> cells_;
+};
+
+}  // namespace mp

@@ -1,0 +1,139 @@
+#pragma once
+/// \file merge_path.hpp
+/// The paper's central primitive: locating the Merge Path on a cross
+/// diagonal of the (implicit) Merge Matrix by binary search (Section II,
+/// Theorem 14), and partitioning the path into equal segments (Theorem 9).
+///
+/// Geometry recap. For sorted arrays A (|A| = m) and B (|B| = n), the merge
+/// corresponds to a monotone path on an m x n grid from the top-left to the
+/// bottom-right corner: a downward step consumes the next element of A, a
+/// rightward step consumes the next element of B (Lemma 1). The binary merge
+/// matrix M[i,j] = (A[i] > B[j]) is non-increasing along every cross
+/// diagonal (Corollary 12), and the path crosses diagonal d exactly at the
+/// 1→0 transition (Proposition 13). A point on diagonal d is written as the
+/// pair (i, j) with i + j = d, where i elements of A and j elements of B lie
+/// above/left of the path — i is the "co-rank" of d.
+///
+/// Tie-breaking: we define M with strict comparison (A[i] > B[j]), which
+/// makes the merge *stable with A-priority*: on equal keys the element of A
+/// is consumed first. All algorithms in this repository inherit that
+/// guarantee, matching std::merge semantics.
+
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <type_traits>
+#include <vector>
+
+#include "core/instrument.hpp"
+#include "util/assert.hpp"
+
+namespace mp {
+
+/// A point on the merge path: i elements of A and j elements of B consumed.
+struct PathPoint {
+  std::size_t i = 0;
+  std::size_t j = 0;
+
+  std::size_t diagonal() const { return i + j; }
+  friend bool operator==(const PathPoint&, const PathPoint&) = default;
+};
+
+/// Finds the intersection of the merge path with cross diagonal `diag`
+/// (Theorem 14). Returns the co-rank i, i.e. the number of elements of
+/// [a, a+m) that precede the path point; the B-count is diag - i.
+///
+/// The search maintains the invariant that the answer lies in
+/// [lo, hi] ⊆ [max(0, diag-n), min(diag, m)] and runs in
+/// O(log min(m, n, diag, m+n-diag)) comparisons — at most
+/// log2(min(m,n)) + 1, the bound quoted in the paper.
+///
+/// Requirements: diag <= m + n; `comp` is a strict weak ordering; both
+/// ranges sorted by `comp`.
+template <typename IterA, typename IterB, typename Comp = std::less<>,
+          typename Instr = NoInstrument>
+std::size_t diagonal_intersection(IterA a, std::size_t m, IterB b,
+                                  std::size_t n, std::size_t diag,
+                                  Comp comp = {}, Instr* instr = nullptr) {
+  MP_ASSERT(diag <= m + n);
+  std::size_t lo = diag > n ? diag - n : 0;
+  std::size_t hi = diag < m ? diag : m;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    // Candidate split: A contributes `mid`, B contributes `diag - mid`.
+    // The path lies below (i.e. more A consumed) iff the last B element of
+    // the candidate, B[diag-mid-1], is NOT strictly smaller than A[mid]:
+    // equal keys go to A first (stability).
+    if constexpr (!std::is_same_v<Instr, NoInstrument>) {
+      if (instr) instr->search_step();
+    }
+    if (!comp(b[diag - mid - 1], a[mid]))
+      lo = mid + 1;
+    else
+      hi = mid;
+  }
+  return lo;
+}
+
+/// Convenience: intersection as a PathPoint.
+template <typename IterA, typename IterB, typename Comp = std::less<>,
+          typename Instr = NoInstrument>
+PathPoint path_point_on_diagonal(IterA a, std::size_t m, IterB b,
+                                 std::size_t n, std::size_t diag,
+                                 Comp comp = {}, Instr* instr = nullptr) {
+  const std::size_t i = diagonal_intersection(a, m, b, n, diag, comp, instr);
+  return PathPoint{i, diag - i};
+}
+
+/// Partitions the merge path of (A, B) into `parts` segments of (near-)equal
+/// length (Theorem 9 / Corollary 7). Returns parts+1 path points; segment k
+/// covers output positions [points[k].diagonal(), points[k+1].diagonal()).
+///
+/// Segment lengths differ by at most one: segment k starts at diagonal
+/// floor(k * (m+n) / parts), the equispaced cross diagonals of the paper.
+/// Each interior point costs one independent binary search, so the whole
+/// partition is O(p log min(m,n)) work and — when the searches are executed
+/// concurrently, as parallel_merge() does — O(log min(m,n)) time.
+template <typename IterA, typename IterB, typename Comp = std::less<>,
+          typename Instr = NoInstrument>
+std::vector<PathPoint> partition_merge_path(IterA a, std::size_t m, IterB b,
+                                            std::size_t n, std::size_t parts,
+                                            Comp comp = {},
+                                            Instr* instr = nullptr) {
+  MP_CHECK(parts >= 1);
+  std::vector<PathPoint> points(parts + 1);
+  points[0] = PathPoint{0, 0};
+  points[parts] = PathPoint{m, n};
+  for (std::size_t k = 1; k < parts; ++k) {
+    const std::size_t diag = k * (m + n) / parts;
+    points[k] = path_point_on_diagonal(a, m, b, n, diag, comp, instr);
+  }
+  return points;
+}
+
+/// Verifies that `points` is a valid merge-path partition of (A, B): path
+/// points are monotone in both coordinates, start at (0,0), end at (m,n),
+/// and each point is a genuine path point (the two order conditions of the
+/// co-rank characterisation hold). Used by tests and by the debug builds of
+/// the parallel algorithms.
+template <typename IterA, typename IterB, typename Comp = std::less<>>
+bool validate_partition(IterA a, std::size_t m, IterB b, std::size_t n,
+                        const std::vector<PathPoint>& points, Comp comp = {}) {
+  if (points.empty() || points.front() != PathPoint{0, 0} ||
+      points.back() != PathPoint{m, n})
+    return false;
+  for (std::size_t k = 1; k < points.size(); ++k) {
+    if (points[k].i < points[k - 1].i || points[k].j < points[k - 1].j)
+      return false;
+  }
+  for (const PathPoint& pt : points) {
+    // Stability-aware path-point conditions:
+    //   A[i-1] <= B[j]  (no pending smaller-or-equal A left behind)
+    //   B[j-1] <  A[i]  (no pending strictly-smaller B left behind)
+    if (pt.i > 0 && pt.j < n && comp(b[pt.j], a[pt.i - 1])) return false;
+    if (pt.j > 0 && pt.i < m && !comp(b[pt.j - 1], a[pt.i])) return false;
+  }
+  return true;
+}
+
+}  // namespace mp

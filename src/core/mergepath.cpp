@@ -1,0 +1,7 @@
+#include "core/mergepath.hpp"
+
+namespace mp {
+
+const char* version() { return "1.0.0"; }
+
+}  // namespace mp

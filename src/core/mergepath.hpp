@@ -1,0 +1,48 @@
+#pragma once
+/// \file mergepath.hpp
+/// Umbrella header: the complete public API of the Merge Path library.
+///
+/// Quick tour (see README.md for a guided version):
+///
+///   #include "core/mergepath.hpp"
+///
+///   std::vector<int> s = mp::parallel_merge(a, b);            // Algorithm 1
+///   mp::parallel_merge_sort(std::span(v));                    // Section III
+///   auto t = mp::segmented_parallel_merge(a, b);               // Algorithm 2
+///   mp::cache_efficient_parallel_sort(std::span(v));           // Section IV.C
+///   auto u = mp::parallel_multiway_merge(runs);                // k-way ext.
+///
+/// Thread count and pool are controlled with mp::Executor:
+///
+///   mp::ThreadPool pool(7);                       // 8-lane machine
+///   mp::Executor exec{&pool, 8};
+///   mp::parallel_merge(a.data(), a.size(), b.data(), b.size(),
+///                      out.data(), exec);
+///
+/// All algorithms are stable (ties favour the first input / lower run
+/// index), generic over random-access iterators and comparators, and
+/// lock-free in the sense of the paper: lanes synchronise only at the
+/// terminal fork-join barrier.
+
+#include "core/cache_sort.hpp"        // IWYU pragma: export
+#include "core/instrument.hpp"        // IWYU pragma: export
+#include "core/merge_by_key.hpp"      // IWYU pragma: export
+#include "core/merge_matrix.hpp"      // IWYU pragma: export
+#include "core/merge_path.hpp"        // IWYU pragma: export
+#include "core/merge_soa.hpp"         // IWYU pragma: export
+#include "core/merge_sort.hpp"        // IWYU pragma: export
+#include "core/multiway_merge.hpp"    // IWYU pragma: export
+#include "core/parallel_merge.hpp"    // IWYU pragma: export
+#include "core/segmented_merge.hpp"   // IWYU pragma: export
+#include "core/sequential_merge.hpp"  // IWYU pragma: export
+#include "core/set_ops.hpp"           // IWYU pragma: export
+#include "core/stream_merger.hpp"     // IWYU pragma: export
+#include "core/tiled_merge.hpp"       // IWYU pragma: export
+#include "core/verify.hpp"            // IWYU pragma: export
+
+namespace mp {
+
+/// Library version, set from the paper reproduction milestones.
+const char* version();
+
+}  // namespace mp

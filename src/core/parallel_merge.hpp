@@ -1,0 +1,145 @@
+#pragma once
+/// \file parallel_merge.hpp
+/// Algorithm 1 of the paper — Parallel Merge.
+///
+/// Each of p lanes independently (1) computes its starting diagonal
+/// (k·(|A|+|B|)/p), (2) binary-searches the intersection of the merge path
+/// with that cross diagonal (merge_path.hpp), and (3) runs (|A|+|B|)/p
+/// steps of sequential merge writing to a disjoint slice of the output.
+/// There is no inter-lane communication; the trailing barrier is the
+/// fork-join of ThreadPool::parallel_for_lanes.
+///
+/// Complexity (paper, Section III): time O(N/p + log N), work
+/// O(N + p·log N) for N = |A|+|B|.
+///
+/// Two entry points:
+///  - parallel_merge():        ThreadPool backend (portable, default)
+///  - parallel_merge_openmp(): OpenMP parallel-for backend, the paper's own
+///    implementation vehicle (Section VI); compiled only when OpenMP is
+///    available.
+///
+/// Instrumented variants fill one OpCounts per lane; the PRAM simulator
+/// turns those into modelled parallel time (DESIGN.md S9/E1).
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/instrument.hpp"
+#include "core/merge_path.hpp"
+#include "core/sequential_merge.hpp"
+#include "util/assert.hpp"
+#include "util/threading.hpp"
+
+namespace mp {
+
+/// Work descriptor for one lane of Algorithm 1. Exposed so that callers
+/// embedding the merge in larger parallel phases (merge sort's flattened
+/// rounds) can compute lane slices themselves.
+struct MergeSlice {
+  std::size_t a_begin = 0;  ///< first element of A this lane consumes
+  std::size_t b_begin = 0;  ///< first element of B this lane consumes
+  std::size_t out_begin = 0;  ///< first output position
+  std::size_t steps = 0;      ///< number of merge steps (output elements)
+};
+
+/// Computes lane `lane` of `lanes`' slice of the merge of (m, n): the
+/// starting diagonal, its path intersection, and the step count. Pure
+/// function of the inputs; O(log min(m,n)) comparisons.
+template <typename IterA, typename IterB, typename Comp = std::less<>,
+          typename Instr = NoInstrument>
+MergeSlice merge_slice_for_lane(IterA a, std::size_t m, IterB b,
+                                std::size_t n, unsigned lane, unsigned lanes,
+                                Comp comp = {}, Instr* instr = nullptr) {
+  MP_CHECK(lanes >= 1 && lane < lanes);
+  const std::size_t total = m + n;
+  const std::size_t diag_lo = lane * total / lanes;
+  const std::size_t diag_hi = (lane + 1ull) * total / lanes;
+  const PathPoint start =
+      path_point_on_diagonal(a, m, b, n, diag_lo, comp, instr);
+  return MergeSlice{start.i, start.j, diag_lo, diag_hi - diag_lo};
+}
+
+/// Algorithm 1 with an explicit executor. Merges sorted [a, a+m) and
+/// [b, b+n) into [out, out+m+n); stable with A-priority. `instr`, when
+/// non-null, must point to exec.resolve_threads() OpCounts entries.
+template <typename IterA, typename IterB, typename OutIter,
+          typename Comp = std::less<>, typename Instr = NoInstrument>
+void parallel_merge(IterA a, std::size_t m, IterB b, std::size_t n,
+                    OutIter out, Executor exec = {}, Comp comp = {},
+                    std::span<Instr> instr = {}) {
+  const unsigned lanes = exec.resolve_threads();
+  MP_CHECK(instr.empty() || instr.size() >= lanes);
+
+  if (lanes == 1 || m + n <= lanes) {
+    // Degenerate cases: sequential merge is both faster and simpler.
+    Instr* in0 = instr.empty() ? nullptr : &instr[0];
+    sequential_merge(a, m, b, n, out, comp, in0);
+    return;
+  }
+
+  exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
+    Instr* li = instr.empty() ? nullptr : &instr[lane];
+    const MergeSlice slice =
+        merge_slice_for_lane(a, m, b, n, lane, lanes, comp, li);
+    std::size_t i = slice.a_begin;
+    std::size_t j = slice.b_begin;
+    merge_steps(a, m, b, n, &i, &j, out + static_cast<std::ptrdiff_t>(slice.out_begin),
+                slice.steps, comp, li);
+  });
+}
+
+/// Convenience vector front-end: returns the merged vector.
+template <typename T, typename Comp = std::less<>>
+std::vector<T> parallel_merge(const std::vector<T>& a, const std::vector<T>& b,
+                              Executor exec = {}, Comp comp = {}) {
+  std::vector<T> out(a.size() + b.size());
+  parallel_merge(a.data(), a.size(), b.data(), b.size(), out.data(), exec,
+                 comp);
+  return out;
+}
+
+#ifdef _OPENMP
+/// Algorithm 1 on OpenMP, mirroring the paper's implementation (Section
+/// VI). `threads` == 0 uses the OpenMP default.
+template <typename IterA, typename IterB, typename OutIter,
+          typename Comp = std::less<>>
+void parallel_merge_openmp(IterA a, std::size_t m, IterB b, std::size_t n,
+                           OutIter out, unsigned threads = 0, Comp comp = {});
+#endif
+
+}  // namespace mp
+
+#ifdef _OPENMP
+#include <omp.h>
+
+namespace mp {
+
+template <typename IterA, typename IterB, typename OutIter, typename Comp>
+void parallel_merge_openmp(IterA a, std::size_t m, IterB b, std::size_t n,
+                           OutIter out, unsigned threads, Comp comp) {
+  const int lanes = threads > 0 ? static_cast<int>(threads)
+                                : omp_get_max_threads();
+  if (lanes <= 1 || m + n <= static_cast<std::size_t>(lanes)) {
+    sequential_merge(a, m, b, n, out, comp);
+    return;
+  }
+#pragma omp parallel num_threads(lanes)
+  {
+    const unsigned lane = static_cast<unsigned>(omp_get_thread_num());
+    const unsigned actual = static_cast<unsigned>(omp_get_num_threads());
+    if (lane < actual) {
+      const MergeSlice slice =
+          merge_slice_for_lane(a, m, b, n, lane, actual, comp);
+      std::size_t i = slice.a_begin;
+      std::size_t j = slice.b_begin;
+      merge_steps(a, m, b, n, &i, &j,
+                  out + static_cast<std::ptrdiff_t>(slice.out_begin),
+                  slice.steps, comp);
+    }
+  }  // implicit barrier — the "Barrier" closing Algorithm 1
+}
+
+}  // namespace mp
+#endif

@@ -1,0 +1,240 @@
+#pragma once
+/// \file sequential_merge.hpp
+/// Sequential merge kernels.
+///
+/// Three kernels are provided:
+///  - merge_steps(): merges exactly `steps` output elements starting from
+///    given positions in A and B. This is the "(|A|+|B|)/p steps of
+///    sequential merge" primitive of Algorithm 1 and the "L/p steps"
+///    primitive of Algorithm 2. Handles either input running out.
+///  - sequential_merge(): the classic full two-array merge (the paper's
+///    single-thread baseline for the 6%-overhead remark of Section VI).
+///  - branchless_merge_steps(): ablation variant that replaces the
+///    per-element branch with arithmetic selection; requires both inputs to
+///    have a readable element at all times, so callers pad or fall back to
+///    merge_steps() for the tail. Used by bench/ablation studies only.
+///
+/// All kernels are stable with A-priority (ties take from A), matching the
+/// Merge Matrix definition M[i,j] = A[i] > B[j].
+
+#include <cstddef>
+#include <functional>
+#include <type_traits>
+
+#include "core/instrument.hpp"
+#include "util/assert.hpp"
+
+namespace mp {
+
+/// Merges exactly `steps` elements, reading from positions *a_pos of A and
+/// *b_pos of B, writing to `out`. Updates a_pos/b_pos to the consumed
+/// counts. The caller guarantees steps <= (m - *a_pos) + (n - *b_pos).
+template <typename IterA, typename IterB, typename OutIter,
+          typename Comp = std::less<>, typename Instr = NoInstrument>
+OutIter merge_steps(IterA a, std::size_t m, IterB b, std::size_t n,
+                    std::size_t* a_pos, std::size_t* b_pos, OutIter out,
+                    std::size_t steps, Comp comp = {},
+                    Instr* instr = nullptr) {
+  std::size_t i = *a_pos;
+  std::size_t j = *b_pos;
+  MP_ASSERT(steps <= (m - i) + (n - j));
+  auto note_compare = [&] {
+    if constexpr (!std::is_same_v<Instr, NoInstrument>) {
+      if (instr) instr->compare();
+    }
+  };
+  auto note_move = [&] {
+    if constexpr (!std::is_same_v<Instr, NoInstrument>) {
+      if (instr) instr->move();
+    }
+  };
+
+  std::size_t remaining = steps;
+  // Main loop: both inputs non-empty.
+  while (remaining > 0 && i < m && j < n) {
+    note_compare();
+    if (comp(b[j], a[i])) {
+      *out++ = b[j++];
+    } else {
+      *out++ = a[i++];  // ties take A: stability
+    }
+    note_move();
+    --remaining;
+  }
+  // Tail: one side exhausted.
+  while (remaining > 0 && i < m) {
+    *out++ = a[i++];
+    note_move();
+    --remaining;
+  }
+  while (remaining > 0 && j < n) {
+    *out++ = b[j++];
+    note_move();
+    --remaining;
+  }
+  MP_ASSERT(remaining == 0);
+  *a_pos = i;
+  *b_pos = j;
+  return out;
+}
+
+/// Classic full merge of [a, a+m) and [b, b+n) into `out`; returns the end
+/// of the output. Stable with A-priority. This is the sequential baseline
+/// used in experiment E2 (the paper's "6% single-thread overhead" remark).
+template <typename IterA, typename IterB, typename OutIter,
+          typename Comp = std::less<>, typename Instr = NoInstrument>
+OutIter sequential_merge(IterA a, std::size_t m, IterB b, std::size_t n,
+                         OutIter out, Comp comp = {},
+                         Instr* instr = nullptr) {
+  std::size_t i = 0, j = 0;
+  return merge_steps(a, m, b, n, &i, &j, out, m + n, comp, instr);
+}
+
+/// The "truly sequential merge" of the paper's Section VI remark: the
+/// textbook two-pointer merge with no step budget and no resumable
+/// positions — the leanest loop a sequential implementation can run.
+/// Algorithm 1 with p = 1 executes merge_steps() instead, which carries a
+/// remaining-steps counter and resumable cursors; the instruction
+/// difference between the two is what experiment E2 measures (the paper
+/// reports ~6% including OpenMP overhead).
+template <typename IterA, typename IterB, typename OutIter,
+          typename Comp = std::less<>>
+OutIter classic_merge(IterA a, std::size_t m, IterB b, std::size_t n,
+                      OutIter out, Comp comp = {}) {
+  std::size_t i = 0, j = 0;
+  while (i < m && j < n) {
+    if (comp(b[j], a[i]))
+      *out++ = b[j++];
+    else
+      *out++ = a[i++];
+  }
+  while (i < m) *out++ = a[i++];
+  while (j < n) *out++ = b[j++];
+  return out;
+}
+
+/// Branchless inner loop: selects the source with arithmetic on the
+/// comparison result instead of a branch. Only valid while BOTH inputs have
+/// unconsumed elements; the caller must stop `steps` short of either
+/// exhaustion point (parallel_merge's ablation path establishes this from
+/// the partition geometry). Updates positions like merge_steps().
+template <typename IterA, typename IterB, typename OutIter,
+          typename Comp = std::less<>>
+OutIter branchless_merge_steps(IterA a, IterB b, std::size_t* a_pos,
+                               std::size_t* b_pos, OutIter out,
+                               std::size_t steps, Comp comp = {}) {
+  std::size_t i = *a_pos;
+  std::size_t j = *b_pos;
+  for (std::size_t s = 0; s < steps; ++s) {
+    const bool take_b = comp(b[j], a[i]);
+    // Read both candidates, keep one: turns the data-dependent branch into
+    // a conditional move the compiler can schedule.
+    const auto av = a[i];
+    const auto bv = b[j];
+    *out++ = take_b ? bv : av;
+    i += take_b ? 0 : 1;
+    j += take_b ? 1 : 0;
+  }
+  *a_pos = i;
+  *b_pos = j;
+  return out;
+}
+
+/// Run-adaptive ("galloping") merge: instead of deciding element by
+/// element, each iteration finds the whole span of consecutive winners
+/// from one input by exponential + binary search, then block-copies it.
+/// On run-structured inputs (the organ-pipe workload, pre-sorted
+/// fragments, time-series bursts) this does O(runs · log(run_len))
+/// comparisons instead of O(N); on perfectly interleaved input it costs
+/// at most ~2 comparisons per element — the trade the ablation bench
+/// (bench/ablation_segment's kernel companion in bench_micro) quantifies.
+/// Stable with A-priority, identical output to sequential_merge().
+template <typename IterA, typename IterB, typename OutIter,
+          typename Comp = std::less<>, typename Instr = NoInstrument>
+OutIter adaptive_merge(IterA a, std::size_t m, IterB b, std::size_t n,
+                       OutIter out, Comp comp = {}, Instr* instr = nullptr) {
+  auto note = [&](std::uint64_t compares, std::uint64_t moves) {
+    if constexpr (!std::is_same_v<Instr, NoInstrument>) {
+      if (instr) {
+        instr->compare(compares);
+        instr->move(moves);
+      }
+    }
+  };
+  std::size_t i = 0, j = 0;
+  while (i < m && j < n) {
+    if (comp(b[j], a[i])) {
+      // B wins: find the span of B strictly below a[i].
+      // Exponential probe for the first B index NOT below a[i]...
+      std::size_t lo = j + 1, hi = n, step = 1;
+      std::uint64_t probes = 1;  // the deciding comparison above
+      while (lo < hi) {
+        const std::size_t probe = std::min(lo + step - 1, hi - 1);
+        ++probes;
+        if (comp(b[probe], a[i])) {
+          lo = probe + 1;
+          step <<= 1;
+        } else {
+          hi = probe;
+          break;
+        }
+      }
+      while (lo < hi) {  // binary refine inside the bracket
+        const std::size_t mid = lo + (hi - lo) / 2;
+        ++probes;
+        if (comp(b[mid], a[i]))
+          lo = mid + 1;
+        else
+          hi = mid;
+      }
+      note(probes, lo - j);
+      for (; j < lo; ++j) *out++ = b[j];
+    } else {
+      // A wins (ties included): span of A not above b[j], i.e. a <= b[j].
+      std::size_t lo = i + 1, hi = m, step = 1;
+      std::uint64_t probes = 1;
+      while (lo < hi) {
+        const std::size_t probe = std::min(lo + step - 1, hi - 1);
+        ++probes;
+        if (!comp(b[j], a[probe])) {
+          lo = probe + 1;
+          step <<= 1;
+        } else {
+          hi = probe;
+          break;
+        }
+      }
+      while (lo < hi) {
+        const std::size_t mid = lo + (hi - lo) / 2;
+        ++probes;
+        if (!comp(b[j], a[mid]))
+          lo = mid + 1;
+        else
+          hi = mid;
+      }
+      note(probes, lo - i);
+      for (; i < lo; ++i) *out++ = a[i];
+    }
+  }
+  note(0, (m - i) + (n - j));
+  while (i < m) *out++ = a[i++];
+  while (j < n) *out++ = b[j++];
+  return out;
+}
+
+/// Counts how many of the next `steps` path steps are guaranteed safe for
+/// the branchless kernel (i.e. how many can run before either input might
+/// exhaust): min(steps, m - i, n - j) is NOT sufficient in general — the
+/// kernel reads a[i] and b[j] each step, so it is safe exactly while
+/// i < m and j < n, giving min(steps, (m-i) + ... ) conservative bound
+/// min(steps, m - i, n - j).
+inline std::size_t branchless_safe_steps(std::size_t m, std::size_t n,
+                                         std::size_t i, std::size_t j,
+                                         std::size_t steps) {
+  const std::size_t a_left = m - i;
+  const std::size_t b_left = n - j;
+  const std::size_t safe = a_left < b_left ? a_left : b_left;
+  return steps < safe ? steps : safe;
+}
+
+}  // namespace mp

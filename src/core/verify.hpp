@@ -1,0 +1,71 @@
+#pragma once
+/// \file verify.hpp
+/// Verification utilities: O(N) checkers that an output range really is
+/// the (stable) merge of two inputs.
+///
+/// Downstream users integrating a parallel merge into a larger system
+/// want a cheap independent oracle — "is this buffer exactly the merge of
+/// those two?" — for tests and canary checks. Sorting alone is not enough
+/// (a sorted permutation of the wrong multiset passes), and multiset
+/// equality alone is not enough either; the greedy two-pointer witness
+/// below checks both at once, and optionally the A-priority stable
+/// interleaving.
+
+#include <cstddef>
+#include <functional>
+
+namespace mp {
+
+/// True iff [out, out+m+n) is *a* merge of [a, a+m) and [b, b+n): there is
+/// a way to interleave the two inputs, preserving each one's internal
+/// order, that produces exactly `out`. Implies multiset equality, and —
+/// when the inputs are sorted and out is sorted — that out is the merged
+/// sequence. O(m+n) time, O(1) space. Greedy two-pointer matching with
+/// tie preference for A is complete here because both inputs are sorted:
+/// when out[k] could extend either input, consuming the A copy first never
+/// blocks a completion (the B copy stays available for the next equal
+/// output).
+template <typename IterA, typename IterB, typename OutIter,
+          typename Comp = std::less<>>
+bool is_merge_of(IterA a, std::size_t m, IterB b, std::size_t n,
+                 OutIter out, Comp comp = {}) {
+  auto equal = [&](const auto& x, const auto& y) {
+    return !comp(x, y) && !comp(y, x);
+  };
+  std::size_t i = 0, j = 0;
+  for (std::size_t k = 0; k < m + n; ++k) {
+    const auto& v = out[k];
+    if (i < m && equal(a[i], v)) {
+      ++i;
+    } else if (j < n && equal(b[j], v)) {
+      ++j;
+    } else {
+      return false;
+    }
+  }
+  return i == m && j == n;
+}
+
+/// True iff out is the *stable A-priority* merge: the exact sequence every
+/// merge in this library produces. Checks the interleaving rule directly:
+/// at each step the element taken is A's head when a[i] <= b[j], B's head
+/// when b[j] < a[i]. Requires comparable identity only through `comp`
+/// (equal-key elements from the same array are interchangeable under it).
+template <typename IterA, typename IterB, typename OutIter,
+          typename Comp = std::less<>>
+bool is_stable_merge_of(IterA a, std::size_t m, IterB b, std::size_t n,
+                        OutIter out, Comp comp = {}) {
+  std::size_t i = 0, j = 0;
+  for (std::size_t k = 0; k < m + n; ++k) {
+    const bool take_b = i >= m || (j < n && comp(b[j], a[i]));
+    const auto& expected = take_b ? b[j] : a[i];
+    if (comp(expected, out[k]) || comp(out[k], expected)) return false;
+    if (take_b)
+      ++j;
+    else
+      ++i;
+  }
+  return true;
+}
+
+}  // namespace mp

@@ -1,0 +1,59 @@
+#include "dist/netsim.hpp"
+
+#include <algorithm>
+
+namespace mp::dist {
+
+RankNetwork::RankNetwork(unsigned ranks, const NetConfig& config)
+    : config_(config),
+      port_send_(ranks, 0.0),
+      port_recv_(ranks, 0.0),
+      recv_bytes_total_(ranks, 0) {
+  MP_CHECK(ranks >= 1);
+}
+
+void RankNetwork::send(unsigned src, unsigned dst, std::uint64_t bytes) {
+  MP_CHECK(src < ranks() && dst < ranks());
+  if (src == dst) return;  // local move, no network cost
+  round_open_ = true;
+  const double cost =
+      config_.alpha_us +
+      static_cast<double>(bytes) / config_.beta_bytes_per_us;
+  port_send_[src] += cost;
+  port_recv_[dst] += cost;
+  ++stats_.messages;
+  stats_.bytes += bytes;
+  recv_bytes_total_[dst] += bytes;
+}
+
+void RankNetwork::end_round() {
+  if (!round_open_) return;
+  double busiest = 0.0;
+  for (unsigned r = 0; r < ranks(); ++r) {
+    busiest = std::max(busiest, port_send_[r]);
+    busiest = std::max(busiest, port_recv_[r]);
+    port_send_[r] = 0.0;
+    port_recv_[r] = 0.0;
+  }
+  stats_.modeled_time_us += busiest;
+  ++stats_.rounds;
+  round_open_ = false;
+}
+
+NetStats RankNetwork::stats() const {
+  NetStats out = stats_;
+  if (round_open_) {
+    double busiest = 0.0;
+    for (unsigned r = 0; r < ranks(); ++r) {
+      busiest = std::max(busiest, port_send_[r]);
+      busiest = std::max(busiest, port_recv_[r]);
+    }
+    out.modeled_time_us += busiest;
+    ++out.rounds;
+  }
+  for (std::uint64_t b : recv_bytes_total_)
+    out.max_rank_recv_bytes = std::max(out.max_rank_recv_bytes, b);
+  return out;
+}
+
+}  // namespace mp::dist

@@ -1,0 +1,65 @@
+#pragma once
+/// \file netsim.hpp
+/// Message-passing network simulator (alpha-beta cost model).
+///
+/// The paper's abstract promises the algorithm "is easily adaptable to
+/// additional architectures"; the distributed-memory adaptation is the
+/// natural one for HPC clusters (the MPI programming model). This
+/// substrate simulates p ranks with private memories connected by a
+/// network priced with the standard alpha-beta model:
+///
+///   cost(message of m bytes) = alpha + m / beta
+///
+/// Ranks run round-synchronously: within a communication round every rank
+/// serialises its own sends and receives (single NIC), rounds end at a
+/// barrier, and the round's cost is the busiest rank's port time. This is
+/// the textbook LogP-lite model the LLNL MPI material teaches, enough to
+/// rank algorithms by communication volume and balance.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mp::dist {
+
+struct NetConfig {
+  double alpha_us = 2.0;        ///< per-message latency
+  double beta_bytes_per_us = 10000.0;  ///< per-link bandwidth (~10 GB/s)
+};
+
+struct NetStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t max_rank_recv_bytes = 0;  ///< congestion measure
+  double modeled_time_us = 0.0;           ///< sum over rounds of max port time
+  std::uint64_t rounds = 0;
+};
+
+/// Records traffic between `ranks` ranks. Self-sends are free (local).
+class RankNetwork {
+ public:
+  RankNetwork(unsigned ranks, const NetConfig& config = {});
+
+  unsigned ranks() const { return static_cast<unsigned>(port_send_.size()); }
+
+  /// Records one message inside the current round.
+  void send(unsigned src, unsigned dst, std::uint64_t bytes);
+
+  /// Ends the current communication round (a barrier): the round costs the
+  /// busiest port's time.
+  void end_round();
+
+  /// Stats including the (auto-closed) final round.
+  NetStats stats() const;
+
+ private:
+  NetConfig config_;
+  NetStats stats_;
+  std::vector<double> port_send_;  // per-rank accumulated port time, round
+  std::vector<double> port_recv_;
+  std::vector<std::uint64_t> recv_bytes_total_;
+  bool round_open_ = false;
+};
+
+}  // namespace mp::dist

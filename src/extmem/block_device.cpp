@@ -1,0 +1,52 @@
+#include "extmem/block_device.hpp"
+
+#include <cstring>
+
+namespace mp::extmem {
+
+BlockDevice::BlockDevice(const DeviceConfig& config) : config_(config) {
+  MP_CHECK(config_.block_bytes > 0);
+}
+
+std::uint64_t BlockDevice::allocate(std::uint64_t count) {
+  const std::uint64_t first = store_.size();
+  store_.resize(store_.size() + count);
+  return first;
+}
+
+void BlockDevice::note_access(std::uint64_t block) {
+  // The very first access is a seek too (last_block_ + 1 would wrap the
+  // ~0 sentinel to 0 and silently match block 0).
+  if (last_block_ == ~0ull || block != last_block_ + 1) ++stats_.seeks;
+  last_block_ = block;
+  bytes_moved_ += config_.block_bytes;
+}
+
+void BlockDevice::write_block(std::uint64_t block, const void* data,
+                              std::uint32_t bytes) {
+  MP_CHECK(block < store_.size());
+  MP_CHECK(bytes <= config_.block_bytes);
+  auto& slot = store_[block];
+  slot.assign(config_.block_bytes, 0);
+  std::memcpy(slot.data(), data, bytes);
+  ++stats_.block_writes;
+  note_access(block);
+}
+
+void BlockDevice::read_block(std::uint64_t block, void* data,
+                             std::uint32_t bytes) {
+  MP_CHECK(block < store_.size());
+  MP_CHECK(bytes <= config_.block_bytes);
+  const auto& slot = store_[block];
+  MP_CHECK(!slot.empty());  // reading a never-written block
+  std::memcpy(data, slot.data(), bytes);
+  ++stats_.block_reads;
+  note_access(block);
+}
+
+double BlockDevice::modeled_io_us() const {
+  return static_cast<double>(stats_.seeks) * config_.seek_us +
+         static_cast<double>(bytes_moved_) / config_.bandwidth_bytes_per_us;
+}
+
+}  // namespace mp::extmem

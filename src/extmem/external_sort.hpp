@@ -1,0 +1,175 @@
+#pragma once
+/// \file external_sort.hpp
+/// External merge sort on the simulated block device.
+///
+/// Classic two-phase structure:
+///  - Run formation: the input is read in memory-sized chunks of M
+///    elements, each sorted *in memory with the paper's parallel merge
+///    sort* (all p lanes), and written back as a sorted run — the
+///    many-small-arrays regime where the paper's introduction notes
+///    parallelism is trivial... except that here each chunk sort itself is
+///    the parallel algorithm.
+///  - Merge passes: runs are merged `fan_in` at a time (heap-based k-way
+///    with stable run-order tie-breaking) until one run remains. With
+///    fan-in k = M/B - 1 this meets the Aggarwal-Vitter bound of
+///    O(N/B · log_{M/B}(N/M)) block transfers, which the experiment
+///    harness (bench/table_external_io) checks against the measured
+///    device statistics.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/merge_sort.hpp"
+#include "extmem/block_device.hpp"
+#include "extmem/run_file.hpp"
+#include "util/assert.hpp"
+#include "util/threading.hpp"
+
+namespace mp::extmem {
+
+struct ExternalSortConfig {
+  /// In-memory working set M, in elements. Must hold at least two blocks.
+  std::size_t memory_elems = 1 << 20;
+  /// Merge fan-in; 0 derives the A-V optimal M/B - 1 (one output buffer).
+  std::size_t fan_in = 0;
+  /// Executor for the in-memory chunk sorts.
+  Executor exec;
+
+  template <typename T>
+  std::size_t resolve_fan_in(const BlockDevice& device) const {
+    if (fan_in > 0) return fan_in < 2 ? 2 : fan_in;
+    const std::size_t per_block = device.config().block_bytes / sizeof(T);
+    const std::size_t buffers = memory_elems / (per_block ? per_block : 1);
+    return buffers > 2 ? buffers - 1 : 2;
+  }
+};
+
+struct ExternalSortReport {
+  std::size_t initial_runs = 0;
+  std::size_t merge_passes = 0;
+  std::size_t fan_in = 0;
+  DeviceStats io;            ///< device stats delta for the whole sort
+  double modeled_io_us = 0;  ///< device-model time for the whole sort
+};
+
+namespace detail {
+
+/// Merges `runs` (stably, lower run index wins ties) into one run.
+template <typename T, typename Comp>
+RunHandle merge_runs(BlockDevice& device, const std::vector<RunHandle>& runs,
+                     Comp comp) {
+  std::vector<RunReader<T>> readers;
+  readers.reserve(runs.size());
+  for (const RunHandle& run : runs) readers.emplace_back(device, run);
+
+  struct Head {
+    T value;
+    std::size_t run;
+  };
+  auto later = [&comp](const Head& x, const Head& y) {
+    // priority_queue keeps the *largest* on top, so invert: x after y.
+    if (comp(y.value, x.value)) return true;
+    if (comp(x.value, y.value)) return false;
+    return x.run > y.run;  // stable: lower run index first
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(later)> heads(later);
+  for (std::size_t r = 0; r < readers.size(); ++r)
+    if (!readers[r].empty()) heads.push({readers[r].next(), r});
+
+  RunWriter<T> writer(device);
+  while (!heads.empty()) {
+    const Head head = heads.top();
+    heads.pop();
+    writer.append(head.value);
+    if (!readers[head.run].empty())
+      heads.push({readers[head.run].next(), head.run});
+  }
+  return writer.finish();
+}
+
+}  // namespace detail
+
+/// Sorts the `input` run into a new run on the same device. Stable.
+template <typename T, typename Comp = std::less<>>
+RunHandle external_sort(BlockDevice& device, RunHandle input,
+                        const ExternalSortConfig& config = {},
+                        ExternalSortReport* report = nullptr, Comp comp = {}) {
+  const std::size_t per_block = device.config().block_bytes / sizeof(T);
+  MP_CHECK(config.memory_elems >= 2 * per_block);
+  const DeviceStats before = device.stats();
+  const double io_before = device.modeled_io_us();
+
+  // Phase 1: run formation with in-memory parallel merge sorts.
+  std::vector<RunHandle> runs;
+  {
+    RunReader<T> reader(device, input);
+    RunWriter<T> writer(device);
+    std::vector<T> chunk;
+    chunk.reserve(config.memory_elems);
+    while (!reader.empty()) {
+      chunk.clear();
+      while (!reader.empty() && chunk.size() < config.memory_elems)
+        chunk.push_back(reader.next());
+      parallel_merge_sort(chunk.data(), chunk.size(), config.exec, comp);
+      writer.append(chunk.data(), chunk.size());
+      runs.push_back(writer.finish());
+    }
+  }
+  const std::size_t initial_runs = runs.size();
+
+  // Phase 2: fan-in-way merge passes.
+  const std::size_t fan_in = config.resolve_fan_in<T>(device);
+  std::size_t passes = 0;
+  while (runs.size() > 1) {
+    std::vector<RunHandle> next;
+    for (std::size_t g = 0; g < runs.size(); g += fan_in) {
+      const std::size_t end = std::min(g + fan_in, runs.size());
+      if (end - g == 1) {
+        next.push_back(runs[g]);  // singleton carries over, no I/O
+        continue;
+      }
+      next.push_back(detail::merge_runs<T>(
+          device,
+          std::vector<RunHandle>(runs.begin() + static_cast<std::ptrdiff_t>(g),
+                                 runs.begin() + static_cast<std::ptrdiff_t>(end)),
+          comp));
+    }
+    runs = std::move(next);
+    ++passes;
+  }
+
+  if (report) {
+    report->initial_runs = initial_runs;
+    report->merge_passes = passes;
+    report->fan_in = fan_in;
+    const DeviceStats after = device.stats();
+    report->io.block_reads = after.block_reads - before.block_reads;
+    report->io.block_writes = after.block_writes - before.block_writes;
+    report->io.seeks = after.seeks - before.seeks;
+    report->modeled_io_us = device.modeled_io_us() - io_before;
+  }
+  return runs.empty() ? RunHandle{0, 0} : runs.front();
+}
+
+/// Convenience: round-trips a vector through the device (write input run,
+/// sort, read back). Returns the sorted data; fills `report` if given.
+template <typename T, typename Comp = std::less<>>
+std::vector<T> external_sort_vector(BlockDevice& device,
+                                    const std::vector<T>& data,
+                                    const ExternalSortConfig& config = {},
+                                    ExternalSortReport* report = nullptr,
+                                    Comp comp = {}) {
+  RunWriter<T> writer(device);
+  writer.append(data.data(), data.size());
+  const RunHandle input = writer.finish();
+  const RunHandle sorted =
+      external_sort<T>(device, input, config, report, comp);
+  std::vector<T> out;
+  out.reserve(data.size());
+  RunReader<T> reader(device, sorted);
+  while (!reader.empty()) out.push_back(reader.next());
+  return out;
+}
+
+}  // namespace mp::extmem

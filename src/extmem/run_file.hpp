@@ -1,0 +1,130 @@
+#pragma once
+/// \file run_file.hpp
+/// Sorted-run storage on a BlockDevice: sequential writers and buffered
+/// readers with block-granular I/O. Element type is trivially copyable
+/// (the on-"disk" format is raw little-endian memory, as an internal
+/// sort-spill format would be).
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "extmem/block_device.hpp"
+#include "util/assert.hpp"
+
+namespace mp::extmem {
+
+/// Descriptor of one run on the device.
+struct RunHandle {
+  std::uint64_t first_block = 0;
+  std::uint64_t element_count = 0;
+};
+
+/// Streams elements out to freshly allocated blocks.
+template <typename T>
+class RunWriter {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit RunWriter(BlockDevice& device) : device_(&device) {
+    buffer_.reserve(elems_per_block());
+  }
+
+  std::size_t elems_per_block() const {
+    return device_->config().block_bytes / sizeof(T);
+  }
+
+  void append(const T& value) {
+    buffer_.push_back(value);
+    if (buffer_.size() == elems_per_block()) flush_block();
+  }
+
+  void append(const T* values, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) append(values[i]);
+  }
+
+  /// Flushes the tail and returns the finished run's handle. The writer
+  /// may be reused for a new run afterwards.
+  RunHandle finish() {
+    if (!buffer_.empty()) flush_block();
+    RunHandle handle{first_block_, written_};
+    first_block_ = kUnset;
+    written_ = 0;
+    return handle;
+  }
+
+ private:
+  static constexpr std::uint64_t kUnset = ~0ull;
+
+  void flush_block() {
+    const std::uint64_t block = device_->allocate(1);
+    if (first_block_ == kUnset) first_block_ = block;
+    device_->write_block(block, buffer_.data(),
+                         static_cast<std::uint32_t>(buffer_.size() *
+                                                    sizeof(T)));
+    written_ += buffer_.size();
+    buffer_.clear();
+  }
+
+  BlockDevice* device_;
+  std::vector<T> buffer_;
+  std::uint64_t first_block_ = kUnset;
+  std::uint64_t written_ = 0;
+};
+
+/// Buffered sequential reader over a run. Holds one block in memory —
+/// the B-sized input buffer of the Aggarwal-Vitter merge.
+template <typename T>
+class RunReader {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  RunReader(BlockDevice& device, RunHandle handle)
+      : device_(&device), handle_(handle) {
+    buffer_.resize(elems_per_block());
+  }
+
+  std::size_t elems_per_block() const {
+    return device_->config().block_bytes / sizeof(T);
+  }
+
+  bool empty() const { return consumed_ == handle_.element_count; }
+  std::uint64_t remaining() const { return handle_.element_count - consumed_; }
+
+  const T& peek() {
+    MP_ASSERT(!empty());
+    refill_if_needed();
+    return buffer_[cursor_];
+  }
+
+  T next() {
+    const T value = peek();
+    ++cursor_;
+    ++consumed_;
+    return value;
+  }
+
+ private:
+  void refill_if_needed() {
+    if (cursor_ < valid_) return;
+    const std::uint64_t block_index = consumed_ / elems_per_block();
+    const std::uint64_t in_block = consumed_ % elems_per_block();
+    device_->read_block(handle_.first_block + block_index, buffer_.data(),
+                        static_cast<std::uint32_t>(buffer_.size() *
+                                                   sizeof(T)));
+    valid_ = std::min<std::uint64_t>(
+        elems_per_block(),
+        handle_.element_count - block_index * elems_per_block());
+    cursor_ = static_cast<std::size_t>(in_block);
+  }
+
+  BlockDevice* device_;
+  RunHandle handle_;
+  std::vector<T> buffer_;
+  std::size_t cursor_ = 0;
+  std::size_t valid_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace mp::extmem

@@ -1,0 +1,195 @@
+#include "pram/baselines_sim.hpp"
+
+#include <algorithm>
+
+#include "baselines/akl_santoro.hpp"
+#include "baselines/bitonic.hpp"
+#include "baselines/deo_sarkar.hpp"
+#include "baselines/shiloach_vishkin.hpp"
+#include "util/assert.hpp"
+#include "util/threading.hpp"
+
+namespace mp::pram {
+namespace {
+
+using Element = std::int32_t;
+constexpr std::uint64_t kElem = sizeof(Element);
+
+/// Prices one run whose per-lane counts were accumulated across
+/// `barrier_count` fork-join phases, with one streaming pass of
+/// `mem_bytes`. The compute critical path is the slowest lane's total —
+/// exact for single-phase algorithms, and for multi-phase ones an
+/// under-approximation that the callers correct by pricing rounds
+/// individually where the dependency structure matters (Akl-Santoro).
+SimResult price_run(const MachineModel& model,
+                    std::span<const OpCounts> counts, unsigned lanes,
+                    std::uint64_t barrier_count, std::uint64_t mem_bytes) {
+  SimResult result;
+  result.lanes = lanes;
+  double slowest = 0.0;
+  for (const OpCounts& ops : counts) {
+    slowest = std::max(slowest, model.lane_ns(ops));
+    result.critical_ops = std::max(result.critical_ops, ops.total());
+    result.work_ops += ops.total();
+    result.totals += ops;
+  }
+  result.compute_ns = slowest;
+  result.barrier_ns = static_cast<double>(barrier_count) *
+                      model.barrier_ns(lanes);
+  const std::uint64_t excess =
+      mem_bytes > model.llc_bytes ? mem_bytes - model.llc_bytes : 0;
+  result.memory_ns = model.memory_ns(excess, lanes);
+  result.phases = barrier_count;
+  result.time_ns = result.compute_ns + result.barrier_ns + result.memory_ns;
+  return result;
+}
+
+}  // namespace
+
+SimResult simulate_shiloach_vishkin(const std::vector<Element>& a,
+                                    const std::vector<Element>& b,
+                                    unsigned lanes,
+                                    const MachineModel& model) {
+  MP_CHECK(lanes >= 1);
+  ThreadPool serial(0);
+  std::vector<Element> out(a.size() + b.size());
+  std::vector<OpCounts> counts(lanes);
+  baselines::shiloach_vishkin_merge(a.data(), a.size(), b.data(), b.size(),
+                                    out.data(), Executor{&serial, lanes},
+                                    std::less<>{},
+                                    std::span<OpCounts>(counts));
+  return price_run(model, counts, lanes, /*barriers=*/2,
+                   2 * kElem * out.size());
+}
+
+SimResult simulate_akl_santoro(const std::vector<Element>& a,
+                               const std::vector<Element>& b, unsigned lanes,
+                               const MachineModel& model) {
+  MP_CHECK(lanes >= 1);
+  ThreadPool serial(0);
+  Executor exec{&serial, lanes};
+  unsigned rounds = 0;
+  while ((1u << rounds) < lanes) ++rounds;
+
+  SimResult result;
+  result.lanes = lanes;
+
+  // Dependent partition rounds, priced individually: round r runs 2^r
+  // concurrent median searches on at most `lanes` processors.
+  std::vector<baselines::AsSegment> segments{
+      baselines::AsSegment{0, a.size(), 0, b.size(), 0}};
+  for (unsigned r = 0; r < rounds; ++r) {
+    std::vector<OpCounts> counts(lanes);
+    std::vector<baselines::AsSegment> next(2 * segments.size());
+    for (std::size_t idx = 0; idx < segments.size(); ++idx) {
+      OpCounts& ops = counts[idx % lanes];
+      const auto seg = segments[idx];
+      const std::size_t sm = seg.a_end - seg.a_begin;
+      const std::size_t sn = seg.b_end - seg.b_begin;
+      const std::size_t half = (sm + sn) / 2;
+      const PathPoint mid = path_point_on_diagonal(
+          a.data() + seg.a_begin, sm, b.data() + seg.b_begin, sn, half,
+          std::less<>{}, &ops);
+      next[2 * idx] = {seg.a_begin, seg.a_begin + mid.i, seg.b_begin,
+                       seg.b_begin + mid.j, seg.out_begin};
+      next[2 * idx + 1] = {seg.a_begin + mid.i, seg.a_end,
+                           seg.b_begin + mid.j, seg.b_end,
+                           seg.out_begin + half};
+    }
+    segments = std::move(next);
+    const SimResult round = price_run(model, counts, lanes, 1, 0);
+    result.compute_ns += round.compute_ns;
+    result.barrier_ns += round.barrier_ns;
+    result.critical_ops += round.critical_ops;
+    result.work_ops += round.work_ops;
+    result.totals += round.totals;
+    ++result.phases;
+  }
+
+  // Merge phase: leaves round-robin over lanes.
+  {
+    std::vector<OpCounts> counts(lanes);
+    std::vector<Element> out(a.size() + b.size());
+    for (std::size_t s = 0; s < segments.size(); ++s) {
+      OpCounts& ops = counts[s % lanes];
+      const auto& seg = segments[s];
+      const std::size_t sm = seg.a_end - seg.a_begin;
+      const std::size_t sn = seg.b_end - seg.b_begin;
+      std::size_t i = 0, j = 0;
+      merge_steps(a.data() + seg.a_begin, sm, b.data() + seg.b_begin, sn, &i,
+                  &j, out.data() + seg.out_begin, sm + sn, std::less<>{},
+                  &ops);
+    }
+    const SimResult merge_phase = price_run(
+        model, counts, lanes, 1, 2 * kElem * (a.size() + b.size()));
+    result.compute_ns += merge_phase.compute_ns;
+    result.barrier_ns += merge_phase.barrier_ns;
+    result.memory_ns += merge_phase.memory_ns;
+    result.critical_ops += merge_phase.critical_ops;
+    result.work_ops += merge_phase.work_ops;
+    result.totals += merge_phase.totals;
+    ++result.phases;
+  }
+  result.time_ns = result.compute_ns + result.barrier_ns + result.memory_ns;
+  return result;
+}
+
+SimResult simulate_deo_sarkar(const std::vector<Element>& a,
+                              const std::vector<Element>& b, unsigned lanes,
+                              const MachineModel& model) {
+  MP_CHECK(lanes >= 1);
+  ThreadPool serial(0);
+  std::vector<Element> out(a.size() + b.size());
+  std::vector<OpCounts> counts(lanes);
+  baselines::deo_sarkar_merge(a.data(), a.size(), b.data(), b.size(),
+                              out.data(), Executor{&serial, lanes},
+                              std::less<>{}, std::span<OpCounts>(counts));
+  return price_run(model, counts, lanes, 1, 2 * kElem * out.size());
+}
+
+SimResult simulate_bitonic_merge(const std::vector<Element>& a,
+                                 const std::vector<Element>& b,
+                                 unsigned lanes, const MachineModel& model) {
+  MP_CHECK(lanes >= 1);
+  ThreadPool serial(0);
+  std::vector<Element> out(a.size() + b.size());
+  std::vector<OpCounts> counts(lanes);
+  baselines::bitonic_merge(a.data(), a.size(), b.data(), b.size(),
+                           out.data(), Executor{&serial, lanes},
+                           std::less<>{}, std::span<OpCounts>(counts));
+  std::size_t n2 = 1;
+  while (n2 < out.size()) n2 <<= 1;
+  std::uint64_t passes = 0;
+  for (std::size_t j = n2 >> 1; j > 0; j >>= 1) ++passes;
+  // Each pass streams the whole buffer and ends in a barrier.
+  SimResult result =
+      price_run(model, counts, lanes, passes, 0);
+  for (std::uint64_t p = 0; p < passes; ++p) {
+    const std::uint64_t bytes = 2 * kElem * n2;
+    const std::uint64_t excess =
+        bytes > model.llc_bytes ? bytes - model.llc_bytes : 0;
+    result.memory_ns += model.memory_ns(excess, lanes);
+  }
+  result.time_ns = result.compute_ns + result.barrier_ns + result.memory_ns;
+  return result;
+}
+
+MachineModel hypercore_model() {
+  // Plurality Hypercore (Section VI): many simple cores sharing an L1-level
+  // cache, with a hardware synchronizer/scheduler — per-core throughput is
+  // a fraction of a Xeon's, but barriers are near-free and the fabric
+  // feeds many more lanes before saturating.
+  MachineModel m;
+  m.ns_per_compare = 3.0;
+  m.ns_per_move = 2.0;
+  m.ns_per_search_step = 9.0;
+  m.ns_per_stage = 2.0;
+  m.barrier_base_ns = 40.0;
+  m.barrier_per_lane_ns = 1.0;
+  m.llc_bytes = 2u << 20;  // the shared cache is small
+  m.bytes_per_ns_per_lane = 0.8;
+  m.bw_saturation_lanes = 48;
+  return m;
+}
+
+}  // namespace mp::pram

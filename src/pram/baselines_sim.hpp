@@ -1,0 +1,49 @@
+#pragma once
+/// \file baselines_sim.hpp
+/// PRAM cost-model drivers for the related-work baselines (S11-S14), the
+/// modelled-time counterpart of the balance experiment E7: Section V's
+/// "such a load imbalance can cause a 2X increase in latency!" is a claim
+/// about *time*, so we price the instrumented baseline runs with the same
+/// machine model as Algorithm 1 and compare.
+///
+/// Phase structure per algorithm:
+///  - Shiloach-Vishkin: one rank phase + one merge phase (2 barriers);
+///    the merge phase's critical path carries the imbalance.
+///  - Akl-Santoro: ceil(lg p) DEPENDENT partition rounds (one barrier
+///    each) + one merge phase — the log·log term made visible.
+///  - Deo-Sarkar: one phase, like Merge Path (only the search differs).
+///  - Bitonic merge: log2(N) dependent half-cleaner passes, one barrier
+///    each, O(N log N) total work.
+
+#include <cstdint>
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "pram/simulate.hpp"
+
+namespace mp::pram {
+
+SimResult simulate_shiloach_vishkin(const std::vector<std::int32_t>& a,
+                                    const std::vector<std::int32_t>& b,
+                                    unsigned lanes,
+                                    const MachineModel& model);
+
+SimResult simulate_akl_santoro(const std::vector<std::int32_t>& a,
+                               const std::vector<std::int32_t>& b,
+                               unsigned lanes, const MachineModel& model);
+
+SimResult simulate_deo_sarkar(const std::vector<std::int32_t>& a,
+                              const std::vector<std::int32_t>& b,
+                              unsigned lanes, const MachineModel& model);
+
+SimResult simulate_bitonic_merge(const std::vector<std::int32_t>& a,
+                                 const std::vector<std::int32_t>& b,
+                                 unsigned lanes, const MachineModel& model);
+
+/// The Plurality Hypercore shape the paper's Section VI/VII mentions: many
+/// lightweight cores behind a shared cache with hardware fine-grain task
+/// dispatch — slower per operation, dramatically cheaper barriers, more
+/// lanes. Used by bench/fig_hypercore.
+MachineModel hypercore_model();
+
+}  // namespace mp::pram

@@ -1,0 +1,37 @@
+#include "pram/machine.hpp"
+
+#include <algorithm>
+
+namespace mp::pram {
+
+MachineModel MachineModel::paper_x5670() {
+  // Calibration notes:
+  //  - X5670 @ 2.93 GHz: a guarded merge step (compare + move + loop
+  //    bookkeeping, streaming access) retires in ~2 ns => split across
+  //    compare/move costs below.
+  //  - Diagonal search steps hit two random cache lines => ~6 ns.
+  //  - OpenMP fork-join on 12 threads across two sockets ~1 us.
+  //  - Per-core streaming bandwidth ~3 GB/s with triad-like access,
+  //    saturating the two IMCs near 11 active cores (DDR3-1333, 3 ch/skt).
+  MachineModel m;
+  m.ns_per_compare = 1.0;
+  m.ns_per_move = 0.75;
+  m.ns_per_search_step = 6.0;
+  m.ns_per_stage = 0.75;
+  m.barrier_base_ns = 300.0;
+  m.barrier_per_lane_ns = 50.0;
+  m.llc_bytes = 2ull * 12 * 1024 * 1024;
+  m.bytes_per_ns_per_lane = 3.0;
+  m.bw_saturation_lanes = 11;
+  return m;
+}
+
+double phase_ns(const MachineModel& model, std::span<const OpCounts> lanes,
+                unsigned active_lanes) {
+  double slowest = 0.0;
+  for (const OpCounts& ops : lanes)
+    slowest = std::max(slowest, model.lane_ns(ops));
+  return slowest + model.barrier_ns(active_lanes);
+}
+
+}  // namespace mp::pram

@@ -1,0 +1,69 @@
+#pragma once
+/// \file simulate.hpp
+/// Drivers that execute the library's algorithms under the PRAM cost model.
+///
+/// Each simulate_* function runs the *real* algorithm (serially, with lanes
+/// executed inline in lane order for determinism), collects per-lane
+/// per-phase operation counts, and prices them with a MachineModel. The
+/// returned SimResult carries both the modelled time and the raw work
+/// measures, so the complexity-validation experiment (E3) and the speedup
+/// experiment (E1) share these entry points.
+///
+/// Element type is the paper's: 32-bit integers.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/instrument.hpp"
+#include "core/segmented_merge.hpp"
+#include "pram/machine.hpp"
+
+namespace mp::pram {
+
+struct SimResult {
+  double time_ns = 0.0;            ///< modelled wall time
+  double compute_ns = 0.0;         ///< critical-path compute component
+  double memory_ns = 0.0;          ///< bandwidth component
+  double barrier_ns = 0.0;         ///< synchronisation component
+  std::uint64_t work_ops = 0;      ///< total operations over all lanes
+  std::uint64_t critical_ops = 0;  ///< sum over phases of max-lane ops
+  OpCounts totals;                 ///< aggregate operation breakdown
+  unsigned lanes = 1;
+  std::uint64_t phases = 0;        ///< fork-join phase count
+};
+
+/// Plain sequential two-array merge (the Section VI baseline).
+SimResult simulate_sequential_merge(const std::vector<std::int32_t>& a,
+                                    const std::vector<std::int32_t>& b,
+                                    const MachineModel& model);
+
+/// Algorithm 1 with p lanes.
+SimResult simulate_parallel_merge(const std::vector<std::int32_t>& a,
+                                  const std::vector<std::int32_t>& b,
+                                  unsigned lanes, const MachineModel& model);
+
+/// Algorithm 2 (Segmented Parallel Merge) with p lanes.
+/// Phase structure: per segment one parallel staging phase, one balanced
+/// partition+merge phase and one write-back phase (3·segments barriers);
+/// see the function's definition for the pricing approximation.
+SimResult simulate_segmented_merge(const std::vector<std::int32_t>& a,
+                                   const std::vector<std::int32_t>& b,
+                                   unsigned lanes, const MachineModel& model,
+                                   SegmentedConfig config = {});
+
+/// Section III parallel merge sort of `data` (copied internally).
+SimResult simulate_merge_sort(std::vector<std::int32_t> data, unsigned lanes,
+                              const MachineModel& model);
+
+/// One-pass multiway merge sort (multiway_merge_sort) of `data`:
+/// p block sorts + a single k-way merge + copy-back.
+SimResult simulate_multiway_sort(std::vector<std::int32_t> data,
+                                 unsigned lanes, const MachineModel& model);
+
+/// Section IV.C cache-efficient parallel sort of `data` (copied
+/// internally).
+SimResult simulate_cache_sort(std::vector<std::int32_t> data, unsigned lanes,
+                              const MachineModel& model,
+                              std::size_t cache_bytes = 0);
+
+}  // namespace mp::pram

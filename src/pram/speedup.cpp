@@ -1,0 +1,50 @@
+#include "pram/speedup.hpp"
+
+#include "util/assert.hpp"
+#include "util/data_gen.hpp"
+
+namespace mp::pram {
+
+SpeedupCurve merge_speedup_curve(std::size_t per_array,
+                                 const std::vector<unsigned>& threads,
+                                 const MachineModel& model,
+                                 std::uint64_t seed) {
+  MP_CHECK(!threads.empty());
+  const MergeInput input =
+      make_merge_input(Dist::kUniform, per_array, per_array, seed);
+
+  SpeedupCurve curve;
+  curve.elements = per_array;
+  const SimResult base = simulate_parallel_merge(input.a, input.b, 1, model);
+  for (unsigned p : threads) {
+    CurvePoint point;
+    point.threads = p;
+    point.sim = simulate_parallel_merge(input.a, input.b, p, model);
+    point.speedup = base.time_ns / point.sim.time_ns;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+SpeedupCurve sort_speedup_curve(std::size_t elements,
+                                const std::vector<unsigned>& threads,
+                                const MachineModel& model,
+                                std::uint64_t seed) {
+  MP_CHECK(!threads.empty());
+  const std::vector<std::int32_t> values =
+      make_unsorted_values(elements, seed);
+
+  SpeedupCurve curve;
+  curve.elements = elements;
+  const SimResult base = simulate_merge_sort(values, 1, model);
+  for (unsigned p : threads) {
+    CurvePoint point;
+    point.threads = p;
+    point.sim = simulate_merge_sort(values, p, model);
+    point.speedup = base.time_ns / point.sim.time_ns;
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace mp::pram

@@ -1,0 +1,43 @@
+#pragma once
+/// \file speedup.hpp
+/// Speedup-curve computation for the Figure 5 reproduction (experiment E1)
+/// and the sort-speedup companion (E6).
+///
+/// Following Section VI of the paper, the baseline of every curve is the
+/// same algorithm run with a single thread (not the plain sequential
+/// merge — that comparison is experiment E2).
+
+#include <cstdint>
+#include <vector>
+
+#include "pram/machine.hpp"
+#include "pram/simulate.hpp"
+
+namespace mp::pram {
+
+struct CurvePoint {
+  unsigned threads = 1;
+  SimResult sim;
+  double speedup = 1.0;
+};
+
+struct SpeedupCurve {
+  std::size_t elements = 0;  ///< per input array (merge) or total (sort)
+  std::vector<CurvePoint> points;
+};
+
+/// Modelled speedup of Algorithm 1 merging two uniform random arrays of
+/// `per_array` elements each, for every thread count in `threads`.
+SpeedupCurve merge_speedup_curve(std::size_t per_array,
+                                 const std::vector<unsigned>& threads,
+                                 const MachineModel& model,
+                                 std::uint64_t seed);
+
+/// Modelled speedup of the Section III parallel merge sort on `elements`
+/// uniform random values.
+SpeedupCurve sort_speedup_curve(std::size_t elements,
+                                const std::vector<unsigned>& threads,
+                                const MachineModel& model,
+                                std::uint64_t seed);
+
+}  // namespace mp::pram

@@ -1,0 +1,469 @@
+#include "simt/gpu_merge.hpp"
+
+#include <algorithm>
+
+#include "core/merge_path.hpp"
+#include "util/assert.hpp"
+
+namespace mp::simt {
+namespace {
+
+constexpr std::uint64_t kElem = 4;
+
+/// Virtual memory layout: the three arrays at widely separated, aligned
+/// bases (alignment to the transaction size keeps the coalescing counts
+/// clean and deterministic).
+struct Layout {
+  std::uint64_t a_base = 0;
+  std::uint64_t b_base = 1ull << 32;
+  std::uint64_t out_base = 2ull << 32;
+};
+
+/// Per-lane bounded merge cursor (global or shared window, caller maps
+/// addresses).
+struct LaneCursor {
+  std::size_t i = 0, j = 0;  // window-relative
+  std::size_t out = 0;       // absolute output element index
+  std::size_t left = 0;
+};
+
+/// Runs the per-lane binary searches of one CTA warp-synchronously:
+/// every probe round issues one warp access for the A-side probes and one
+/// for the B-side probes. `addr_a`/`addr_b` map window-relative element
+/// indices to byte addresses; `access` is CtaContext::warp_global_access
+/// or warp_shared_access bound by the caller.
+template <typename ValA, typename ValB, typename AddrA, typename AddrB,
+          typename Access>
+std::vector<std::size_t> warp_synchronous_search(
+    CtaContext& cta, unsigned threads, std::size_t win_a, std::size_t win_b,
+    const std::vector<std::size_t>& diags, ValA val_a, ValB val_b,
+    AddrA addr_a, AddrB addr_b, Access access) {
+  struct Lane {
+    std::size_t lo = 0, hi = 0, diag = 0;
+  };
+  std::vector<Lane> lanes(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    lanes[t].diag = diags[t];
+    lanes[t].lo = diags[t] > win_b ? diags[t] - win_b : 0;
+    lanes[t].hi = std::min(diags[t], win_a);
+  }
+  const unsigned warp = cta.config().warp_size;
+  std::vector<std::uint64_t> probes_a, probes_b;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (unsigned w = 0; w < threads; w += warp) {
+      probes_a.clear();
+      probes_b.clear();
+      for (unsigned t = w; t < std::min(threads, w + warp); ++t) {
+        Lane& lane = lanes[t];
+        if (lane.lo >= lane.hi) continue;
+        const std::size_t mid = lane.lo + (lane.hi - lane.lo) / 2;
+        const std::size_t bj = lane.diag - mid - 1;
+        probes_a.push_back(addr_a(mid));
+        probes_b.push_back(addr_b(bj));
+        if (!(val_b(bj) < val_a(mid)))
+          lane.lo = mid + 1;
+        else
+          lane.hi = mid;
+        any = true;
+      }
+      if (!probes_a.empty()) {
+        access(std::span<const std::uint64_t>(probes_a));
+        access(std::span<const std::uint64_t>(probes_b));
+      }
+    }
+    if (any) cta.step();
+  }
+  std::vector<std::size_t> result(threads);
+  for (unsigned t = 0; t < threads; ++t) result[t] = lanes[t].lo;
+  return result;
+}
+
+/// Runs the per-lane bounded merges of one CTA warp-synchronously, writing
+/// real output values into `out_values` (absolute element indices).
+/// Access patterns are reported through the supplied accessors.
+template <typename ValA, typename ValB, typename AddrA, typename AddrB,
+          typename AddrOut, typename AccessIn, typename AccessOut>
+void warp_synchronous_merge(CtaContext& cta, unsigned threads,
+                            std::vector<LaneCursor>& lanes,
+                            std::size_t win_a, std::size_t win_b, ValA val_a,
+                            ValB val_b, AddrA addr_a, AddrB addr_b,
+                            AddrOut addr_out, AccessIn access_in,
+                            AccessOut access_out,
+                            std::vector<std::int32_t>& out_values,
+                            std::size_t out_value_offset) {
+  const unsigned warp = cta.config().warp_size;
+  std::vector<std::uint64_t> reads_a, reads_b, writes;
+  bool any = true;
+  while (any) {
+    any = false;
+    for (unsigned w = 0; w < threads; w += warp) {
+      reads_a.clear();
+      reads_b.clear();
+      writes.clear();
+      for (unsigned t = w; t < std::min(threads, w + warp); ++t) {
+        LaneCursor& lane = lanes[t];
+        if (lane.left == 0) continue;
+        const bool has_a = lane.i < win_a;
+        const bool has_b = lane.j < win_b;
+        MP_ASSERT(has_a || has_b);
+        bool take_b;
+        if (has_a && has_b) {
+          reads_a.push_back(addr_a(lane.i));
+          reads_b.push_back(addr_b(lane.j));
+          take_b = val_b(lane.j) < val_a(lane.i);
+        } else if (has_a) {
+          reads_a.push_back(addr_a(lane.i));
+          take_b = false;
+        } else {
+          reads_b.push_back(addr_b(lane.j));
+          take_b = true;
+        }
+        const std::int32_t value = take_b ? val_b(lane.j) : val_a(lane.i);
+        if (take_b)
+          ++lane.j;
+        else
+          ++lane.i;
+        out_values[lane.out - out_value_offset] = value;
+        writes.push_back(addr_out(lane.out));
+        ++lane.out;
+        --lane.left;
+        any = true;
+      }
+      if (!reads_a.empty())
+        access_in(std::span<const std::uint64_t>(reads_a));
+      if (!reads_b.empty())
+        access_in(std::span<const std::uint64_t>(reads_b));
+      if (!writes.empty())
+        access_out(std::span<const std::uint64_t>(writes));
+    }
+    if (any) cta.step();
+  }
+}
+
+/// Tile bounds: the grid-level partition (in real deployments a separate
+/// tiny kernel; simulated as single-lane global probes charged to the CTA).
+std::pair<PathPoint, PathPoint> tile_bounds(
+    CtaContext& cta, const std::vector<std::int32_t>& a,
+    const std::vector<std::int32_t>& b, std::size_t d0, std::size_t d1,
+    const Layout& layout) {
+  OpCounts probes;
+  const PathPoint lo = path_point_on_diagonal(a.data(), a.size(), b.data(),
+                                              b.size(), d0, std::less<>{},
+                                              &probes);
+  const PathPoint hi = path_point_on_diagonal(a.data(), a.size(), b.data(),
+                                              b.size(), d1, std::less<>{},
+                                              &probes);
+  // Each probe touched one element of each array, one lane wide.
+  for (std::uint64_t p = 0; p < probes.search_steps; ++p) {
+    const std::uint64_t addr_a = layout.a_base;  // representative lines
+    const std::uint64_t addr_b = layout.b_base;
+    cta.warp_global_access(std::span<const std::uint64_t>(&addr_a, 1));
+    cta.warp_global_access(std::span<const std::uint64_t>(&addr_b, 1));
+    cta.step();
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+GpuMergeResult gpu_merge_direct(const std::vector<std::int32_t>& a,
+                                const std::vector<std::int32_t>& b,
+                                const GpuMergeConfig& config) {
+  MP_CHECK(config.simt.valid() && config.items_per_thread >= 1);
+  const Layout layout;
+  const std::size_t m = a.size(), n = b.size(), total = m + n;
+  const std::size_t tile_elems =
+      std::size_t{config.simt.cta_threads} * config.items_per_thread;
+  GpuMergeResult result;
+  result.output.resize(total);
+  if (total == 0) return result;
+
+  const std::size_t tiles = (total + tile_elems - 1) / tile_elems;
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    CtaContext cta(config.simt);
+    const std::size_t d0 = tile * tile_elems;
+    const std::size_t d1 = std::min(total, d0 + tile_elems);
+    const auto [lo, hi] = tile_bounds(cta, a, b, d0, d1, layout);
+    const std::size_t win_a = hi.i - lo.i;
+    const std::size_t win_b = hi.j - lo.j;
+
+    auto val_a = [&](std::size_t i) { return a[lo.i + i]; };
+    auto val_b = [&](std::size_t j) { return b[lo.j + j]; };
+    auto addr_a = [&](std::size_t i) {
+      return layout.a_base + (lo.i + i) * kElem;
+    };
+    auto addr_b = [&](std::size_t j) {
+      return layout.b_base + (lo.j + j) * kElem;
+    };
+    auto addr_out = [&](std::size_t o) {
+      return layout.out_base + o * kElem;
+    };
+    auto global = [&](std::span<const std::uint64_t> addrs) {
+      cta.warp_global_access(addrs);
+    };
+
+    const unsigned threads = config.simt.cta_threads;
+    std::vector<std::size_t> diags(threads);
+    for (unsigned t = 0; t < threads; ++t)
+      diags[t] = std::min<std::size_t>(
+          std::size_t{t} * config.items_per_thread, d1 - d0);
+    // Per-thread partition: searches on GLOBAL memory (scattered probes).
+    const auto starts = warp_synchronous_search(
+        cta, threads, win_a, win_b, diags, val_a, val_b, addr_a, addr_b,
+        global);
+
+    // Per-thread serial merges, global in, global out (both scattered).
+    std::vector<LaneCursor> lanes(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      lanes[t].i = starts[t];
+      lanes[t].j = diags[t] - starts[t];
+      lanes[t].out = d0 + diags[t];
+      const std::size_t next =
+          t + 1 < threads ? diags[t + 1] : d1 - d0;
+      lanes[t].left = next - diags[t];
+    }
+    std::vector<std::int32_t> tile_out(d1 - d0);
+    warp_synchronous_merge(cta, threads, lanes, win_a, win_b, val_a, val_b,
+                           addr_a, addr_b, addr_out, global, global,
+                           tile_out, d0);
+    std::copy(tile_out.begin(), tile_out.end(),
+              result.output.begin() + static_cast<std::ptrdiff_t>(d0));
+    result.kernel.absorb(cta);
+  }
+  return result;
+}
+
+GpuMergeResult gpu_merge_staged(const std::vector<std::int32_t>& a,
+                                const std::vector<std::int32_t>& b,
+                                const GpuMergeConfig& config) {
+  MP_CHECK(config.simt.valid() && config.items_per_thread >= 1);
+  const Layout layout;
+  const std::size_t m = a.size(), n = b.size(), total = m + n;
+  const std::size_t tile_elems =
+      std::size_t{config.simt.cta_threads} * config.items_per_thread;
+  GpuMergeResult result;
+  result.output.resize(total);
+  if (total == 0) return result;
+
+  const std::uint64_t shared_in = 0;     // shared-memory window base
+  const std::size_t tiles = (total + tile_elems - 1) / tile_elems;
+  for (std::size_t tile = 0; tile < tiles; ++tile) {
+    CtaContext cta(config.simt);
+    const std::size_t d0 = tile * tile_elems;
+    const std::size_t d1 = std::min(total, d0 + tile_elems);
+    const auto [lo, hi] = tile_bounds(cta, a, b, d0, d1, layout);
+    const std::size_t win_a = hi.i - lo.i;
+    const std::size_t win_b = hi.j - lo.j;
+    const std::uint64_t shared_b = shared_in + win_a * kElem;
+    const std::uint64_t shared_out = shared_in + (win_a + win_b) * kElem;
+
+    const unsigned threads = config.simt.cta_threads;
+    const unsigned warp = config.simt.warp_size;
+
+    // Cooperative load: lane k of each round loads element base + k —
+    // consecutive addresses, one transaction per warp per segment.
+    {
+      const std::size_t to_load = win_a + win_b;
+      std::vector<std::uint64_t> gaddrs, saddrs;
+      for (std::size_t base = 0; base < to_load; base += threads) {
+        for (unsigned w = 0; w < threads; w += warp) {
+          gaddrs.clear();
+          saddrs.clear();
+          for (unsigned t = w; t < std::min<std::size_t>(threads, w + warp);
+               ++t) {
+            const std::size_t e = base + t;
+            if (e >= to_load) break;
+            // Window A first, then window B (both contiguous in global).
+            const std::uint64_t gaddr =
+                e < win_a ? layout.a_base + (lo.i + e) * kElem
+                          : layout.b_base + (lo.j + (e - win_a)) * kElem;
+            gaddrs.push_back(gaddr);
+            saddrs.push_back(shared_in + e * kElem);
+          }
+          if (!gaddrs.empty()) {
+            cta.warp_global_access(std::span<const std::uint64_t>(gaddrs));
+            cta.warp_shared_access(std::span<const std::uint64_t>(saddrs));
+          }
+        }
+        cta.step();
+      }
+    }
+
+    auto val_a = [&](std::size_t i) { return a[lo.i + i]; };
+    auto val_b = [&](std::size_t j) { return b[lo.j + j]; };
+    auto saddr_a = [&](std::size_t i) { return shared_in + i * kElem; };
+    auto saddr_b = [&](std::size_t j) { return shared_b + j * kElem; };
+    auto saddr_out = [&](std::size_t o) {
+      return shared_out + (o - d0) * kElem;
+    };
+    auto shared = [&](std::span<const std::uint64_t> addrs) {
+      cta.warp_shared_access(addrs);
+    };
+
+    std::vector<std::size_t> diags(threads);
+    for (unsigned t = 0; t < threads; ++t)
+      diags[t] = std::min<std::size_t>(
+          std::size_t{t} * config.items_per_thread, d1 - d0);
+    // Per-thread partition and merge entirely inside shared memory.
+    const auto starts = warp_synchronous_search(
+        cta, threads, win_a, win_b, diags, val_a, val_b, saddr_a, saddr_b,
+        shared);
+    std::vector<LaneCursor> lanes(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      lanes[t].i = starts[t];
+      lanes[t].j = diags[t] - starts[t];
+      lanes[t].out = d0 + diags[t];
+      const std::size_t next = t + 1 < threads ? diags[t + 1] : d1 - d0;
+      lanes[t].left = next - diags[t];
+    }
+    std::vector<std::int32_t> tile_out(d1 - d0);
+    warp_synchronous_merge(cta, threads, lanes, win_a, win_b, val_a, val_b,
+                           saddr_a, saddr_b, saddr_out, shared, shared,
+                           tile_out, d0);
+    std::copy(tile_out.begin(), tile_out.end(),
+              result.output.begin() + static_cast<std::ptrdiff_t>(d0));
+
+    // Cooperative store: merged tile leaves shared memory coalesced.
+    {
+      const std::size_t to_store = d1 - d0;
+      std::vector<std::uint64_t> gaddrs, saddrs;
+      for (std::size_t base = 0; base < to_store; base += threads) {
+        for (unsigned w = 0; w < threads; w += warp) {
+          gaddrs.clear();
+          saddrs.clear();
+          for (unsigned t = w; t < std::min<std::size_t>(threads, w + warp);
+               ++t) {
+            const std::size_t e = base + t;
+            if (e >= to_store) break;
+            saddrs.push_back(shared_out + e * kElem);
+            gaddrs.push_back(layout.out_base + (d0 + e) * kElem);
+          }
+          if (!gaddrs.empty()) {
+            cta.warp_shared_access(std::span<const std::uint64_t>(saddrs));
+            cta.warp_global_access(std::span<const std::uint64_t>(gaddrs));
+          }
+        }
+        cta.step();
+      }
+    }
+    result.kernel.absorb(cta);
+  }
+  return result;
+}
+
+GpuSortResult gpu_merge_sort(const std::vector<std::int32_t>& values,
+                             const GpuMergeConfig& config) {
+  MP_CHECK(config.simt.valid() && config.items_per_thread >= 1);
+  const Layout layout;
+  const std::size_t n = values.size();
+  const std::size_t tile_elems =
+      std::size_t{config.simt.cta_threads} * config.items_per_thread;
+  GpuSortResult result;
+  result.output = values;
+  if (n <= 1) return result;
+
+  // --- Phase 1: CTA blocksort. Each tile: coalesced load, bitonic sort in
+  // shared memory (traffic modelled from the network's structure; the
+  // values are sorted with std::sort since the network's data movement is
+  // value-independent), coalesced store.
+  const unsigned threads = config.simt.cta_threads;
+  const unsigned warp = config.simt.warp_size;
+  for (std::size_t begin = 0; begin < n; begin += tile_elems) {
+    const std::size_t end = std::min(n, begin + tile_elems);
+    const std::size_t len = end - begin;
+    CtaContext cta(config.simt);
+
+    // Coalesced load + store bracket the sort.
+    for (int dir = 0; dir < 2; ++dir) {
+      std::vector<std::uint64_t> gaddrs, saddrs;
+      for (std::size_t base = 0; base < len; base += threads) {
+        for (unsigned w = 0; w < threads; w += warp) {
+          gaddrs.clear();
+          saddrs.clear();
+          for (unsigned t = w; t < std::min<std::size_t>(threads, w + warp);
+               ++t) {
+            const std::size_t e = base + t;
+            if (e >= len) break;
+            gaddrs.push_back(layout.a_base + (begin + e) * kElem);
+            saddrs.push_back(e * kElem);
+          }
+          if (!gaddrs.empty()) {
+            cta.warp_global_access(std::span<const std::uint64_t>(gaddrs));
+            cta.warp_shared_access(std::span<const std::uint64_t>(saddrs));
+          }
+        }
+        cta.step();
+      }
+    }
+
+    // Bitonic network in shared memory: pad to a power of two; per pass,
+    // n2/2 compare-exchanges (each 2 reads + up to 2 writes), spread over
+    // the CTA's threads.
+    std::size_t n2 = 1;
+    while (n2 < len) n2 <<= 1;
+    std::uint64_t passes = 0;
+    for (std::size_t k = 2; k <= n2; k <<= 1)
+      for (std::size_t j = k >> 1; j > 0; j >>= 1) ++passes;
+    const std::uint64_t exchanges_per_pass = n2 / 2;
+    // Consecutive threads handle consecutive pairs: stride-j partners keep
+    // shared access conflict-light; model 4 conflict-free accesses per
+    // exchange.
+    cta.step(passes * ((exchanges_per_pass + threads - 1) / threads));
+    for (std::uint64_t e = 0; e < passes * exchanges_per_pass; e += warp) {
+      // One synthetic warp-wide access per 32 exchanges x 4 touches.
+      std::vector<std::uint64_t> addrs;
+      for (unsigned l = 0; l < warp && e + l < passes * exchanges_per_pass;
+           ++l)
+        addrs.push_back(((e + l) % n2) * kElem);
+      for (int touch = 0; touch < 4; ++touch)
+        cta.warp_shared_access(std::span<const std::uint64_t>(addrs));
+    }
+
+    std::sort(result.output.begin() + static_cast<std::ptrdiff_t>(begin),
+              result.output.begin() + static_cast<std::ptrdiff_t>(end));
+    result.blocksort.absorb(cta);
+  }
+
+  // --- Phase 2: staged merge tree over the sorted tiles.
+  std::vector<std::pair<std::size_t, std::size_t>> runs;
+  for (std::size_t begin = 0; begin < n; begin += tile_elems)
+    runs.emplace_back(begin, std::min(n, begin + tile_elems));
+  while (runs.size() > 1) {
+    std::vector<std::pair<std::size_t, std::size_t>> next;
+    std::vector<std::int32_t> merged(result.output.size());
+    for (std::size_t t = 0; 2 * t < runs.size(); ++t) {
+      const auto [a0, a1] = runs[2 * t];
+      if (2 * t + 1 >= runs.size()) {
+        std::copy(result.output.begin() + static_cast<std::ptrdiff_t>(a0),
+                  result.output.begin() + static_cast<std::ptrdiff_t>(a1),
+                  merged.begin() + static_cast<std::ptrdiff_t>(a0));
+        next.emplace_back(a0, a1);
+        continue;
+      }
+      const auto [b0, b1] = runs[2 * t + 1];
+      const std::vector<std::int32_t> lhs(
+          result.output.begin() + static_cast<std::ptrdiff_t>(a0),
+          result.output.begin() + static_cast<std::ptrdiff_t>(a1));
+      const std::vector<std::int32_t> rhs(
+          result.output.begin() + static_cast<std::ptrdiff_t>(b0),
+          result.output.begin() + static_cast<std::ptrdiff_t>(b1));
+      const GpuMergeResult pair = gpu_merge_staged(lhs, rhs, config);
+      result.merge_rounds.totals += pair.kernel.totals;
+      result.merge_rounds.modeled_time =
+          std::max(result.merge_rounds.modeled_time,
+                   pair.kernel.modeled_time);
+      result.merge_rounds.ctas += pair.kernel.ctas;
+      std::copy(pair.output.begin(), pair.output.end(),
+                merged.begin() + static_cast<std::ptrdiff_t>(a0));
+      next.emplace_back(a0, b1);
+    }
+    result.output = std::move(merged);
+    runs = std::move(next);
+    ++result.rounds;
+  }
+  return result;
+}
+
+}  // namespace mp::simt

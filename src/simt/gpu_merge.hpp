@@ -1,0 +1,78 @@
+#pragma once
+/// \file gpu_merge.hpp
+/// Simulated GPU merge kernels: the Merge Path partition under the SIMT
+/// memory model (experiment E14).
+///
+/// Two kernels, mirroring the design space of GPU Merge Path / ModernGPU:
+///
+///  - gpu_merge_direct(): grid-level tile partition, then every thread
+///    searches its own sub-diagonal and merges ITEMS_PER_THREAD elements
+///    reading/writing GLOBAL memory directly. Each lane of a warp walks
+///    its own cursor ~VT elements away from its neighbour's, so warp
+///    accesses scatter and coalescing collapses.
+///
+///  - gpu_merge_staged(): the tile's A/B windows are first loaded into
+///    shared memory COOPERATIVELY (lane k of a warp loads element base+k —
+///    perfectly coalesced), threads then partition and merge inside shared
+///    memory, and the merged tile is written back cooperatively. Global
+///    traffic drops to ~one transaction per 32 elements; the scattered
+///    traffic moves into shared memory where it is cheap.
+///
+/// Both kernels produce the real merged output (verified by tests) while
+/// the CtaContext records the traffic that distinguishes them.
+
+#include <cstdint>
+#include <vector>
+
+#include "simt/simt_machine.hpp"
+
+namespace mp::simt {
+
+struct GpuMergeConfig {
+  SimtConfig simt;
+  unsigned items_per_thread = 7;  ///< VT; tile = cta_threads * VT elements
+};
+
+struct GpuMergeResult {
+  KernelResult kernel;
+  std::vector<std::int32_t> output;
+
+  double transactions_per_element() const {
+    return output.empty() ? 0.0
+                          : static_cast<double>(
+                                kernel.totals.global_transactions) /
+                                static_cast<double>(output.size());
+  }
+};
+
+GpuMergeResult gpu_merge_direct(const std::vector<std::int32_t>& a,
+                                const std::vector<std::int32_t>& b,
+                                const GpuMergeConfig& config = {});
+
+GpuMergeResult gpu_merge_staged(const std::vector<std::int32_t>& a,
+                                const std::vector<std::int32_t>& b,
+                                const GpuMergeConfig& config = {});
+
+/// Full GPU merge sort: CTA blocksort (tile loaded coalesced, sorted with
+/// a bitonic network in shared memory, stored coalesced), then a binary
+/// tree of staged merge kernels — the GPU Merge Path sort pipeline.
+/// Reports the two phases separately.
+struct GpuSortResult {
+  KernelResult blocksort;
+  KernelResult merge_rounds;
+  std::size_t rounds = 0;
+  std::vector<std::int32_t> output;
+
+  double merge_transactions_per_element() const {
+    return output.empty()
+               ? 0.0
+               : static_cast<double>(
+                     merge_rounds.totals.global_transactions) /
+                     static_cast<double>(output.size());
+  }
+};
+
+GpuSortResult gpu_merge_sort(const std::vector<std::int32_t>& values,
+                             const GpuMergeConfig& config = {});
+
+}  // namespace mp::simt

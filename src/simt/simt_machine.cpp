@@ -1,0 +1,54 @@
+#include "simt/simt_machine.hpp"
+
+#include <algorithm>
+
+namespace mp::simt {
+
+void CtaContext::warp_global_access(
+    std::span<const std::uint64_t> addresses) {
+  if (addresses.empty()) return;
+  MP_ASSERT(addresses.size() <= config_.warp_size);
+  stats_.global_requests += addresses.size();
+  // One transaction per distinct aligned segment. Warp width is <= 32 and
+  // segments are few; a small sorted scan beats hashing here.
+  std::vector<std::uint64_t> segments;
+  segments.reserve(addresses.size());
+  for (std::uint64_t addr : addresses)
+    segments.push_back(addr / config_.transaction_bytes);
+  std::sort(segments.begin(), segments.end());
+  segments.erase(std::unique(segments.begin(), segments.end()),
+                 segments.end());
+  stats_.global_transactions += segments.size();
+}
+
+void CtaContext::warp_shared_access(
+    std::span<const std::uint64_t> addresses) {
+  if (addresses.empty()) return;
+  MP_ASSERT(addresses.size() <= config_.warp_size);
+  stats_.shared_accesses += addresses.size();
+  // Bank conflicts: lanes mapping to one bank but different words
+  // serialise; lanes reading the SAME word broadcast for free.
+  // Cost of the access = max over banks of distinct words in that bank;
+  // the extra beyond 1 is recorded separately.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> lanes;  // bank, word
+  lanes.reserve(addresses.size());
+  for (std::uint64_t addr : addresses) {
+    const std::uint64_t word = addr / config_.bank_word_bytes;
+    lanes.emplace_back(static_cast<std::uint32_t>(word %
+                                                  config_.shared_banks),
+                       word);
+  }
+  std::sort(lanes.begin(), lanes.end());
+  lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+  std::uint64_t worst = 1;
+  std::size_t i = 0;
+  while (i < lanes.size()) {
+    std::size_t j = i;
+    while (j < lanes.size() && lanes[j].first == lanes[i].first) ++j;
+    worst = std::max<std::uint64_t>(worst, j - i);
+    i = j;
+  }
+  stats_.bank_conflict_extra += worst - 1;
+}
+
+}  // namespace mp::simt

@@ -1,0 +1,125 @@
+#pragma once
+/// \file simt_machine.hpp
+/// A minimal SIMT (GPU-style) execution and memory model.
+///
+/// Why this exists: the Merge Path partition's most influential deployment
+/// is on GPUs (GPU Merge Path; ModernGPU; the merge kernels in Thrust and
+/// CUB). The paper's Section V cites the GPU sorting line of work
+/// ([8], [9]) and its partitioning idea transfers directly — but what
+/// changes on a GPU is the *memory system*: DRAM is reached through wide
+/// transactions shared by a warp, so the difference between a scattered
+/// per-thread access pattern and a coalesced cooperative one is an order
+/// of magnitude in traffic. This model makes that measurable
+/// (DESIGN.md S20 / experiment E14).
+///
+/// Model contents:
+///  - warps of `warp_size` lanes execute in lockstep; a CTA is
+///    `cta_threads` lanes (warp_size-multiple), with `shared_bytes` of
+///    scratch;
+///  - a global-memory access by a warp costs one *transaction* per
+///    distinct `transaction_bytes`-aligned segment touched by its lanes;
+///  - shared-memory accesses are counted per lane, with bank conflicts
+///    (lanes of a warp hitting the same bank at different words)
+///    multiplying cost;
+///  - modelled kernel time = max over CTAs of
+///    (transactions·t_txn + shared·t_sh + steps·t_step), a deliberately
+///    coarse latency model — the experiments report the traffic counts
+///    first and the modelled ratio second.
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace mp::simt {
+
+struct SimtConfig {
+  unsigned warp_size = 32;
+  unsigned cta_threads = 128;
+  std::uint32_t transaction_bytes = 128;
+  unsigned shared_banks = 32;
+  std::uint32_t bank_word_bytes = 4;
+
+  /// Latency weights for the coarse time model (arbitrary units).
+  double cost_transaction = 32.0;  ///< one DRAM transaction
+  double cost_shared = 1.0;        ///< one conflict-free shared access
+  double cost_step = 1.0;          ///< one lockstep compute step
+
+  bool valid() const {
+    return warp_size > 0 && cta_threads % warp_size == 0 &&
+           transaction_bytes > 0 && shared_banks > 0;
+  }
+};
+
+struct SimtStats {
+  std::uint64_t global_requests = 0;    ///< lane-level global accesses
+  std::uint64_t global_transactions = 0;  ///< warp-level DRAM transactions
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t bank_conflict_extra = 0;  ///< serialised extra shared cycles
+  std::uint64_t steps = 0;                ///< lockstep compute steps
+
+  SimtStats& operator+=(const SimtStats& other) {
+    global_requests += other.global_requests;
+    global_transactions += other.global_transactions;
+    shared_accesses += other.shared_accesses;
+    bank_conflict_extra += other.bank_conflict_extra;
+    steps += other.steps;
+    return *this;
+  }
+};
+
+/// Per-CTA accounting context handed to simulated kernels.
+class CtaContext {
+ public:
+  explicit CtaContext(const SimtConfig& config) : config_(config) {
+    MP_CHECK(config_.valid());
+  }
+
+  const SimtConfig& config() const { return config_; }
+  const SimtStats& stats() const { return stats_; }
+
+  /// One warp-wide global access: `addresses` holds the byte address of
+  /// every participating lane (inactive lanes omitted). Counts one
+  /// transaction per distinct aligned segment.
+  void warp_global_access(std::span<const std::uint64_t> addresses);
+
+  /// One warp-wide shared-memory access; bank = (addr / word) % banks.
+  /// Lanes hitting the same bank at different words serialise.
+  void warp_shared_access(std::span<const std::uint64_t> addresses);
+
+  /// One lockstep compute step for the CTA (whatever its width).
+  void step(std::uint64_t count = 1) { stats_.steps += count; }
+
+  /// Modelled time of this CTA's recorded activity.
+  double modeled_time() const {
+    return static_cast<double>(stats_.global_transactions) *
+               config_.cost_transaction +
+           static_cast<double>(stats_.shared_accesses +
+                               stats_.bank_conflict_extra) *
+               config_.cost_shared +
+           static_cast<double>(stats_.steps) * config_.cost_step;
+  }
+
+ private:
+  SimtConfig config_;
+  SimtStats stats_;
+};
+
+/// Aggregates CTA results: total traffic, and kernel time = max over CTAs
+/// (they run concurrently; DRAM contention is deliberately not modelled —
+/// the traffic totals carry that story).
+struct KernelResult {
+  SimtStats totals;
+  double modeled_time = 0.0;
+  std::size_t ctas = 0;
+
+  void absorb(const CtaContext& cta) {
+    totals += cta.stats();
+    modeled_time = std::max(modeled_time, cta.modeled_time());
+    ++ctas;
+  }
+};
+
+}  // namespace mp::simt

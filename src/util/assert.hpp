@@ -1,0 +1,35 @@
+#pragma once
+/// \file assert.hpp
+/// Lightweight always-on and debug-only assertion macros.
+///
+/// MP_CHECK is evaluated in every build type and is used to validate
+/// user-supplied arguments at public API boundaries (e.g. "p >= 1").
+/// MP_ASSERT compiles away in NDEBUG builds and guards internal invariants
+/// on hot paths (e.g. partition-point monotonicity inside the diagonal
+/// search).
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mp::detail {
+
+[[noreturn]] inline void assert_fail(const char* kind, const char* expr,
+                                     const char* file, int line) {
+  std::fprintf(stderr, "mergepath: %s failed: %s (%s:%d)\n", kind, expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace mp::detail
+
+#define MP_CHECK(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                        \
+          : ::mp::detail::assert_fail("check", #expr, __FILE__, __LINE__))
+
+#ifdef NDEBUG
+#define MP_ASSERT(expr) static_cast<void>(0)
+#else
+#define MP_ASSERT(expr)                                                  \
+  ((expr) ? static_cast<void>(0)                                         \
+          : ::mp::detail::assert_fail("assert", #expr, __FILE__, __LINE__))
+#endif

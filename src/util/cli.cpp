@@ -1,0 +1,78 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+
+namespace mp {
+
+Cli::Cli(int argc, const char* const* argv) {
+  program_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "unexpected positional argument: " + arg;
+      return;
+    }
+    arg = arg.substr(2);
+    std::string value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    } else {
+      value = "true";
+    }
+    if (arg.empty()) {
+      error_ = "empty flag name";
+      return;
+    }
+    values_[arg] = value;
+    consumed_[arg] = false;
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return false;
+  consumed_[name] = true;
+  return true;
+}
+
+std::string Cli::get(const std::string& name,
+                     const std::string& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[name] = true;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[name] = true;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  consumed_[name] = true;
+  return it->second != "false" && it->second != "0";
+}
+
+std::vector<std::string> Cli::unconsumed() const {
+  std::vector<std::string> out;
+  for (const auto& [name, used] : consumed_)
+    if (!used) out.push_back(name);
+  return out;
+}
+
+}  // namespace mp

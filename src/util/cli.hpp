@@ -1,0 +1,43 @@
+#pragma once
+/// \file cli.hpp
+/// Minimal command-line flag parser shared by the benchmark harnesses and
+/// examples.
+///
+/// Flags take the forms `--name value` and `--name=value`; bare `--name` is a
+/// boolean true. Unknown flags are an error (harnesses should fail loudly
+/// rather than silently ignore a typo'd parameter sweep).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mp {
+
+class Cli {
+ public:
+  /// Parses argv. On error records a message retrievable via error().
+  Cli(int argc, const char* const* argv);
+
+  bool ok() const { return error_.empty(); }
+  const std::string& error() const { return error_; }
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  /// Flags seen but never queried; harnesses call this last to reject typos.
+  std::vector<std::string> unconsumed() const;
+
+ private:
+  std::string program_;
+  std::string error_;
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> consumed_;
+};
+
+}  // namespace mp

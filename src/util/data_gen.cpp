@@ -1,0 +1,218 @@
+#include "util/data_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace mp {
+namespace {
+
+std::vector<std::int32_t> sorted_uniform(std::size_t n, Xoshiro256& rng,
+                                         std::int32_t lo, std::int32_t hi) {
+  MP_ASSERT(lo <= hi);
+  const auto range =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(hi) - lo) + 1;
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v)
+    x = static_cast<std::int32_t>(static_cast<std::int64_t>(lo) +
+                                  static_cast<std::int64_t>(rng.bounded(range)));
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// Random-length alternating bursts: one array receives a run of values from
+// the current window while the other is starved, then roles swap. Windows
+// advance monotonically so each array stays sorted without a final sort.
+void fill_clustered(std::size_t size_a, std::size_t size_b, Xoshiro256& rng,
+                    std::vector<std::int32_t>& a,
+                    std::vector<std::int32_t>& b) {
+  a.reserve(size_a);
+  b.reserve(size_b);
+  std::int64_t value = 0;
+  bool a_turn = true;
+  while (a.size() < size_a || b.size() < size_b) {
+    auto& dst = (a_turn && a.size() < size_a) || b.size() >= size_b ? a : b;
+    const std::uint64_t burst = 1 + rng.bounded(64);
+    const std::size_t capacity = (&dst == &a ? size_a - a.size()
+                                             : size_b - b.size());
+    const std::size_t take = std::min<std::size_t>(burst, capacity);
+    for (std::size_t i = 0; i < take; ++i) {
+      value += static_cast<std::int64_t>(rng.bounded(3));
+      dst.push_back(static_cast<std::int32_t>(value));
+    }
+    a_turn = !a_turn;
+  }
+}
+
+}  // namespace
+
+std::string to_string(Dist dist) {
+  switch (dist) {
+    case Dist::kUniform: return "uniform";
+    case Dist::kDisjointLow: return "disjoint_low";
+    case Dist::kDisjointHigh: return "disjoint_high";
+    case Dist::kInterleaved: return "interleaved";
+    case Dist::kClustered: return "clustered";
+    case Dist::kAllEqual: return "all_equal";
+    case Dist::kFewDuplicates: return "few_duplicates";
+    case Dist::kOrganPipe: return "organ_pipe";
+  }
+  return "unknown";
+}
+
+bool parse_dist(const std::string& name, Dist& out) {
+  for (Dist d : kAllDists) {
+    if (to_string(d) == name) {
+      out = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+MergeInput make_merge_input(Dist dist, std::size_t size_a, std::size_t size_b,
+                            std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  MergeInput input;
+  input.seed = seed;
+  auto& a = input.a;
+  auto& b = input.b;
+
+  constexpr std::int32_t kIntMax = std::numeric_limits<std::int32_t>::max();
+  switch (dist) {
+    case Dist::kUniform:
+      a = sorted_uniform(size_a, rng, 0, kIntMax);
+      b = sorted_uniform(size_b, rng, 0, kIntMax);
+      break;
+    case Dist::kDisjointLow:
+      a = sorted_uniform(size_a, rng, 0, kIntMax / 2 - 1);
+      b = sorted_uniform(size_b, rng, kIntMax / 2, kIntMax);
+      break;
+    case Dist::kDisjointHigh:
+      a = sorted_uniform(size_a, rng, kIntMax / 2, kIntMax);
+      b = sorted_uniform(size_b, rng, 0, kIntMax / 2 - 1);
+      break;
+    case Dist::kInterleaved:
+      a.resize(size_a);
+      b.resize(size_b);
+      for (std::size_t i = 0; i < size_a; ++i)
+        a[i] = static_cast<std::int32_t>(2 * i);
+      for (std::size_t j = 0; j < size_b; ++j)
+        b[j] = static_cast<std::int32_t>(2 * j + 1);
+      break;
+    case Dist::kClustered:
+      fill_clustered(size_a, size_b, rng, a, b);
+      break;
+    case Dist::kAllEqual:
+      a.assign(size_a, 42);
+      b.assign(size_b, 42);
+      break;
+    case Dist::kFewDuplicates: {
+      const std::int32_t universe =
+          static_cast<std::int32_t>(std::max<std::size_t>(
+              2, (size_a + size_b) / 64));
+      a = sorted_uniform(size_a, rng, 0, universe);
+      b = sorted_uniform(size_b, rng, 0, universe);
+      break;
+    }
+    case Dist::kOrganPipe:
+      // Long alternating runs: A holds blocks of consecutive evens, B the
+      // interleaving odd blocks, so the merge path alternates long straight
+      // strokes — the worst case for branch predictors in the merge kernel.
+      a.resize(size_a);
+      b.resize(size_b);
+      for (std::size_t i = 0; i < size_a; ++i) {
+        const std::size_t block = i / 128;
+        a[i] = static_cast<std::int32_t>(block * 512 + (i % 128));
+      }
+      for (std::size_t j = 0; j < size_b; ++j) {
+        const std::size_t block = j / 128;
+        b[j] = static_cast<std::int32_t>(block * 512 + 256 + (j % 128));
+      }
+      break;
+  }
+  MP_ASSERT(std::is_sorted(a.begin(), a.end()));
+  MP_ASSERT(std::is_sorted(b.begin(), b.end()));
+  MP_ASSERT(a.size() == size_a && b.size() == size_b);
+  return input;
+}
+
+std::vector<std::int32_t> make_uniform_values(std::size_t n,
+                                              std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  return sorted_uniform(n, rng, 0, std::numeric_limits<std::int32_t>::max());
+}
+
+std::vector<std::int32_t> make_unsorted_values(std::size_t n,
+                                               std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::int32_t> v(n);
+  for (auto& x : v)
+    x = static_cast<std::int32_t>(
+        rng.bounded(static_cast<std::uint64_t>(
+                        std::numeric_limits<std::int32_t>::max()) +
+                    1));
+  return v;
+}
+
+std::vector<std::int32_t> make_zipf_values(std::size_t n,
+                                           std::int32_t universe,
+                                           double exponent,
+                                           std::uint64_t seed) {
+  MP_CHECK(universe >= 1 && exponent > 0.0);
+  Xoshiro256 rng(seed);
+  // Inverse-CDF sampling over the truncated zeta distribution. The CDF is
+  // precomputed once (O(universe)); draws are then binary searches.
+  std::vector<double> cdf(static_cast<std::size_t>(universe));
+  double total = 0.0;
+  for (std::size_t r = 0; r < cdf.size(); ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf[r] = total;
+  }
+  std::vector<std::int32_t> values(n);
+  for (auto& v : values) {
+    const double u = rng.uniform01() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    v = static_cast<std::int32_t>(it - cdf.begin());
+  }
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+KeyedMergeInput make_keyedinput_impl(std::size_t size_a, std::size_t size_b,
+                                     std::int32_t key_universe,
+                                     std::uint64_t seed) {
+  MP_CHECK(key_universe >= 1);
+  Xoshiro256 rng(seed);
+  KeyedMergeInput input;
+  auto fill = [&](std::vector<KeyedRecord>& v, std::size_t n,
+                  std::uint32_t origin_tag) {
+    v.resize(n);
+    for (auto& r : v)
+      r.key = static_cast<std::int32_t>(
+          rng.bounded(static_cast<std::uint64_t>(key_universe)));
+    std::sort(v.begin(), v.end(),
+              [](const KeyedRecord& x, const KeyedRecord& y) {
+                return x.key < y.key;
+              });
+    // Payload is assigned after sorting so it encodes the element's final
+    // position within its source array: (origin << 28) | index. Stability
+    // checks then reduce to "payload indices of equal keys stay ascending,
+    // A-origin before B-origin".
+    for (std::size_t i = 0; i < n; ++i)
+      v[i].payload = (origin_tag << 28) | static_cast<std::uint32_t>(i);
+  };
+  fill(input.a, size_a, 0u);
+  fill(input.b, size_b, 1u);
+  return input;
+}
+
+KeyedMergeInput make_keyed_input(std::size_t size_a, std::size_t size_b,
+                                 std::int32_t key_universe,
+                                 std::uint64_t seed) {
+  return make_keyedinput_impl(size_a, size_b, key_universe, seed);
+}
+
+}  // namespace mp

@@ -1,0 +1,119 @@
+#pragma once
+/// \file data_gen.hpp
+/// Sorted-input workload generators for the merge experiments.
+///
+/// The paper's evaluation (Section VI) merges two sorted arrays of uniform
+/// random 32-bit integers. Correctness and load-balance behaviour, however,
+/// depend heavily on the *interleaving* of the two inputs, so the test and
+/// benchmark suites additionally exercise adversarial shapes:
+///
+///  - kUniform:      i.i.d. uniform values, the paper's workload; the merge
+///                   path hugs the main diagonal.
+///  - kDisjointLow:  every element of A is smaller than every element of B;
+///                   the merge path runs along the left edge then the bottom.
+///                   This is the input from the paper's introduction that
+///                   breaks the naive equal-split partition.
+///  - kDisjointHigh: every element of A is greater than every element of B.
+///  - kInterleaved:  perfectly alternating values (A gets evens, B odds);
+///                   the path is a staircase touching every diagonal cell.
+///  - kClustered:    values arrive in random-length runs drawn alternately
+///                   from A-heavy and B-heavy ranges, modelling merged
+///                   time-series with bursts.
+///  - kAllEqual:     every element equals the same constant — the pure
+///                   tie-breaking stress case.
+///  - kFewDuplicates: values drawn from a tiny universe (heavy duplication).
+///  - kOrganPipe:    A ascends through even residues while B's values mirror
+///                   them, producing long alternating runs.
+///
+/// Generators return already-sorted vectors and are deterministic in the
+/// seed. Element type is templated; 32-bit int and 64-bit key/value records
+/// are the instantiations used in the suites.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mp {
+
+enum class Dist {
+  kUniform,
+  kDisjointLow,
+  kDisjointHigh,
+  kInterleaved,
+  kClustered,
+  kAllEqual,
+  kFewDuplicates,
+  kOrganPipe,
+};
+
+/// All distributions, in a fixed order usable by parameterized tests.
+inline constexpr Dist kAllDists[] = {
+    Dist::kUniform,      Dist::kDisjointLow,   Dist::kDisjointHigh,
+    Dist::kInterleaved,  Dist::kClustered,     Dist::kAllEqual,
+    Dist::kFewDuplicates, Dist::kOrganPipe,
+};
+
+/// Human-readable name ("uniform", "disjoint_low", ...).
+std::string to_string(Dist dist);
+
+/// Parses the names produced by to_string. Returns false on unknown name.
+bool parse_dist(const std::string& name, Dist& out);
+
+/// A pair of sorted input arrays plus the seed that produced them.
+struct MergeInput {
+  std::vector<std::int32_t> a;
+  std::vector<std::int32_t> b;
+  std::uint64_t seed = 0;
+};
+
+/// Generates sorted arrays |a|=size_a, |b|=size_b with the requested
+/// interleaving shape. Deterministic in (dist, size_a, size_b, seed).
+MergeInput make_merge_input(Dist dist, std::size_t size_a, std::size_t size_b,
+                            std::uint64_t seed);
+
+/// Generates one sorted vector of uniform random values (for sort inputs,
+/// pre-sorting them is the caller's choice).
+std::vector<std::int32_t> make_uniform_values(std::size_t n,
+                                              std::uint64_t seed);
+
+/// Generates an unsorted vector of uniform random values (sort workloads).
+std::vector<std::int32_t> make_unsorted_values(std::size_t n,
+                                               std::uint64_t seed);
+
+/// Zipf-distributed sorted keys: rank r of `universe` drawn with
+/// probability proportional to 1/r^exponent — the key-frequency shape of
+/// text corpora, access logs and join columns. Heavily skewed duplicate
+/// structure stresses the tie handling of merges, set operations and
+/// partition snapping more realistically than kFewDuplicates' uniform
+/// small universe. Deterministic in the seed; returned sorted.
+std::vector<std::int32_t> make_zipf_values(std::size_t n,
+                                           std::int32_t universe,
+                                           double exponent,
+                                           std::uint64_t seed);
+
+/// 64-bit record with a 32-bit key: exercises stability (payload identifies
+/// the origin of an element even when keys collide).
+struct KeyedRecord {
+  std::int32_t key;
+  std::uint32_t payload;
+
+  friend bool operator<(const KeyedRecord& lhs, const KeyedRecord& rhs) {
+    return lhs.key < rhs.key;
+  }
+  friend bool operator==(const KeyedRecord& lhs,
+                         const KeyedRecord& rhs) = default;
+};
+
+/// Sorted keyed records with heavy key duplication; payload encodes
+/// (origin array, original index) so tests can verify stability exactly.
+struct KeyedMergeInput {
+  std::vector<KeyedRecord> a;
+  std::vector<KeyedRecord> b;
+};
+KeyedMergeInput make_keyed_input(std::size_t size_a, std::size_t size_b,
+                                 std::int32_t key_universe,
+                                 std::uint64_t seed);
+
+}  // namespace mp

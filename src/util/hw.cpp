@@ -1,0 +1,102 @@
+#include "util/hw.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace mp {
+namespace {
+
+// Parses "32K" / "256K" / "12288K" / "12M" sysfs size strings.
+std::size_t parse_size(const std::string& text) {
+  std::size_t value = 0;
+  std::size_t i = 0;
+  while (i < text.size() && text[i] >= '0' && text[i] <= '9') {
+    value = value * 10 + static_cast<std::size_t>(text[i] - '0');
+    ++i;
+  }
+  if (i < text.size()) {
+    if (text[i] == 'K' || text[i] == 'k') value <<= 10;
+    if (text[i] == 'M' || text[i] == 'm') value <<= 20;
+  }
+  return value;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::string text;
+  std::getline(in, text);
+  return text;
+}
+
+HostInfo probe_host() {
+  HostInfo info;
+  info.logical_cpus = std::max(1u, std::thread::hardware_concurrency());
+
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/";
+  for (int index = 0; index < 8; ++index) {
+    const std::string dir = base + "index" + std::to_string(index) + "/";
+    const std::string type = read_file(dir + "type");
+    if (type.empty()) break;
+    if (type != "Data" && type != "Unified") continue;
+    CacheLevel level;
+    level.level = std::stoi("0" + read_file(dir + "level"));
+    level.size_bytes = parse_size(read_file(dir + "size"));
+    const std::string line = read_file(dir + "coherency_line_size");
+    if (!line.empty()) level.line_bytes = parse_size(line);
+    const std::string ways = read_file(dir + "ways_of_associativity");
+    if (!ways.empty()) level.associativity =
+        static_cast<unsigned>(std::stoul(ways));
+    // Heuristic: a cache listed with >1 CPU in shared_cpu_list is shared.
+    level.shared = read_file(dir + "shared_cpu_list").find_first_of(",-") !=
+                   std::string::npos;
+    if (level.level > 0 && level.size_bytes > 0) info.caches.push_back(level);
+  }
+  std::sort(info.caches.begin(), info.caches.end(),
+            [](const CacheLevel& x, const CacheLevel& y) {
+              return x.level < y.level;
+            });
+  return info;
+}
+
+}  // namespace
+
+std::size_t HostInfo::l1d_bytes() const {
+  for (const auto& c : caches)
+    if (c.level == 1) return c.size_bytes;
+  return 32u << 10;
+}
+
+std::size_t HostInfo::llc_bytes() const {
+  if (!caches.empty()) return caches.back().size_bytes;
+  return 12u << 20;
+}
+
+const HostInfo& host_info() {
+  static const HostInfo info = probe_host();
+  return info;
+}
+
+HostInfo paper_machine() {
+  HostInfo info;
+  info.logical_cpus = 12;  // 2 sockets x 6 cores, HT disabled per Section VI
+  info.caches = {
+      CacheLevel{1, 32u << 10, 64, 8, false},
+      CacheLevel{2, 256u << 10, 64, 8, false},
+      CacheLevel{3, 12u << 20, 64, 16, true},
+  };
+  return info;
+}
+
+std::string describe(const HostInfo& info) {
+  std::ostringstream os;
+  os << info.logical_cpus << " logical CPU(s)";
+  for (const auto& c : info.caches) {
+    os << ", L" << c.level << (c.shared ? " shared " : " ")
+       << (c.size_bytes >> 10) << "KiB/" << c.associativity << "-way";
+  }
+  return os.str();
+}
+
+}  // namespace mp

@@ -1,0 +1,45 @@
+#pragma once
+/// \file hw.hpp
+/// Host hardware introspection: core count and data-cache geometry.
+///
+/// Cache sizes feed the Segmented Parallel Merge default (L = C/3, Section
+/// IV.B of the paper) and the cache-simulator presets. On Linux we read
+/// sysfs; when unavailable we fall back to the geometry of the paper's
+/// evaluation machine (Xeon X5670: 32 KiB L1d / 256 KiB L2 / 12 MiB L3).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mp {
+
+/// Geometry of one cache level.
+struct CacheLevel {
+  int level = 0;               ///< 1, 2, 3...
+  std::size_t size_bytes = 0;  ///< total capacity
+  std::size_t line_bytes = 64;
+  unsigned associativity = 8;
+  bool shared = false;  ///< shared between cores (vs private per core)
+};
+
+struct HostInfo {
+  unsigned logical_cpus = 1;
+  std::vector<CacheLevel> caches;  ///< ascending by level, data/unified only
+
+  /// First-level data cache size (bytes); paper-machine fallback 32 KiB.
+  std::size_t l1d_bytes() const;
+  /// Last-level cache size (bytes); paper-machine fallback 12 MiB.
+  std::size_t llc_bytes() const;
+};
+
+/// Queries the host (cached after the first call).
+const HostInfo& host_info();
+
+/// The evaluation machine from the paper (Dell T610, 2x Xeon X5670) as a
+/// HostInfo, used by the PRAM/cache simulators' "paper preset".
+HostInfo paper_machine();
+
+/// One-line description for harness banners.
+std::string describe(const HostInfo& info);
+
+}  // namespace mp

@@ -1,0 +1,84 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic, fast pseudo-random number generation.
+///
+/// All experiments in this repository must be reproducible from a single
+/// seed, so we use our own xoshiro256** generator (public-domain algorithm by
+/// Blackman & Vigna) rather than std::mt19937 whose streams differ between
+/// standard-library implementations. The generator satisfies
+/// std::uniform_random_bit_generator and can be plugged into <random>
+/// distributions, but we also provide the small set of helpers the workload
+/// generators need directly.
+
+#include <cstdint>
+#include <limits>
+
+namespace mp {
+
+/// SplitMix64 — used to expand a single 64-bit seed into xoshiro state.
+/// Also a decent standalone hash/mixing function.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 — all-purpose 64-bit generator, period 2^256 - 1.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via SplitMix64,
+  /// as recommended by the xoshiro authors.
+  explicit Xoshiro256(std::uint64_t seed = 0x9035856e6bd2a853ULL) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Jump function: advances the state by 2^128 steps. Used to derive
+  /// independent per-thread streams from one seed.
+  void jump();
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace mp

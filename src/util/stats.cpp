@@ -1,0 +1,56 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace mp {
+
+Summary summarize(const std::vector<double>& sample) {
+  Summary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+
+  double sum = 0.0;
+  s.min = sample.front();
+  s.max = sample.front();
+  for (double x : sample) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.count);
+
+  double sq = 0.0;
+  for (double x : sample) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(s.count));
+
+  s.p50 = percentile(sample, 50.0);
+  s.p95 = percentile(sample, 95.0);
+  return s;
+}
+
+double percentile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  MP_CHECK(q >= 0.0 && q <= 100.0);
+  std::sort(sample.begin(), sample.end());
+  // Nearest-rank: smallest index i with 100*(i+1)/n >= q.
+  const auto n = sample.size();
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return sample[rank - 1];
+}
+
+double geomean(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : sample) {
+    MP_CHECK(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(sample.size()));
+}
+
+}  // namespace mp

@@ -1,0 +1,31 @@
+#pragma once
+/// \file stats.hpp
+/// Small descriptive-statistics helpers used when reporting measurements.
+
+#include <cstddef>
+#include <vector>
+
+namespace mp {
+
+/// Summary of a sample: count, mean, min/max, population standard deviation,
+/// and selected percentiles (computed by nearest-rank on a sorted copy).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Computes the summary of `sample`. An empty sample yields all-zero fields.
+Summary summarize(const std::vector<double>& sample);
+
+/// Nearest-rank percentile (q in [0,100]) of `sample`; 0 for empty input.
+double percentile(std::vector<double> sample, double q);
+
+/// Geometric mean; 0 for empty input. Values must be positive.
+double geomean(const std::vector<double>& sample);
+
+}  // namespace mp

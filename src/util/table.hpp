@@ -1,0 +1,48 @@
+#pragma once
+/// \file table.hpp
+/// Fixed-width table and CSV emitters for the benchmark harnesses.
+///
+/// Every experiment binary prints a paper-style table to stdout; passing
+/// --csv to the harness switches the same data to comma-separated output so
+/// the series can be re-plotted.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mp {
+
+/// Column-aligned text table with an optional CSV rendering.
+///
+/// Usage:
+///   Table t({"threads", "speedup"});
+///   t.add_row({"2", "1.97"});
+///   t.print(std::cout);             // aligned text
+///   t.print_csv(std::cout);         // CSV
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::string>& row(std::size_t i) const { return rows_[i]; }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting helpers used when filling tables.
+std::string fmt_double(double value, int precision = 2);
+std::string fmt_ratio(double value);      // "1.97x"
+std::string fmt_percent(double value);    // fraction 0.061 -> "6.1%"
+std::string fmt_count(std::uint64_t n);   // 1048576 -> "1,048,576"
+std::string fmt_bytes(std::uint64_t n);   // 12582912 -> "12.0 MiB"
+
+}  // namespace mp

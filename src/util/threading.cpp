@@ -1,0 +1,149 @@
+#include "util/threading.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace mp {
+
+struct ThreadPool::Impl {
+  // Job: run lanes [1, lanes) of `task`; lane 0 is the caller's. Workers
+  // claim lane indices from `next_lane` so imbalanced lanes (e.g. the final
+  // ragged segment of a merge) do not idle the other workers.
+  std::mutex mutex;
+  std::condition_variable wake_workers;
+  std::condition_variable job_done;
+  const std::function<void(unsigned)>* task = nullptr;
+  unsigned job_lanes = 0;
+  std::uint64_t job_id = 0;
+  std::atomic<unsigned> next_lane{0};
+  unsigned lanes_remaining = 0;
+  std::exception_ptr first_error;
+  bool shutting_down = false;
+  bool job_active = false;
+  std::vector<std::thread> threads;
+
+  void worker_main() {
+    std::uint64_t last_seen_job = 0;
+    for (;;) {
+      const std::function<void(unsigned)>* my_task = nullptr;
+      unsigned my_lanes = 0;
+      {
+        std::unique_lock lock(mutex);
+        wake_workers.wait(lock, [&] {
+          return shutting_down || (job_active && job_id != last_seen_job);
+        });
+        if (shutting_down) return;
+        last_seen_job = job_id;
+        my_task = task;
+        my_lanes = job_lanes;
+      }
+      run_lanes(*my_task, my_lanes);
+    }
+  }
+
+  // Claims and executes lanes until the job is exhausted, then reports the
+  // lanes it completed.
+  void run_lanes(const std::function<void(unsigned)>& fn, unsigned lanes) {
+    unsigned completed = 0;
+    std::exception_ptr error;
+    for (;;) {
+      const unsigned lane = next_lane.fetch_add(1, std::memory_order_relaxed);
+      if (lane >= lanes) break;
+      try {
+        fn(lane);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+      ++completed;
+    }
+    if (completed > 0 || error) {
+      std::lock_guard lock(mutex);
+      if (error && !first_error) first_error = error;
+      lanes_remaining -= completed;
+      if (lanes_remaining == 0) job_done.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int workers) : impl_(std::make_unique<Impl>()) {
+  unsigned count;
+  if (workers < 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    count = hw > 1 ? hw - 1 : 0;
+  } else {
+    count = static_cast<unsigned>(workers);
+  }
+  impl_->threads.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    impl_->threads.emplace_back([this] { impl_->worker_main(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(impl_->mutex);
+    impl_->shutting_down = true;
+  }
+  impl_->wake_workers.notify_all();
+  for (auto& t : impl_->threads) t.join();
+}
+
+unsigned ThreadPool::workers() const {
+  return static_cast<unsigned>(impl_->threads.size());
+}
+
+void ThreadPool::parallel_for_lanes(
+    unsigned lanes, const std::function<void(unsigned)>& task) {
+  if (lanes == 0) return;
+  if (lanes == 1 || impl_->threads.empty()) {
+    // No parallel machinery needed; run inline (still exercises the same
+    // lane function).
+    for (unsigned lane = 0; lane < lanes; ++lane) task(lane);
+    return;
+  }
+
+  {
+    std::lock_guard lock(impl_->mutex);
+    MP_CHECK(!impl_->job_active);  // no nested / concurrent fork-join
+    impl_->task = &task;
+    impl_->job_lanes = lanes;
+    impl_->lanes_remaining = lanes;
+    impl_->next_lane.store(0, std::memory_order_relaxed);
+    impl_->first_error = nullptr;
+    impl_->job_active = true;
+    ++impl_->job_id;
+  }
+  impl_->wake_workers.notify_all();
+
+  // The caller participates as a claimer too, so lanes <= workers+1 all run
+  // concurrently and excess lanes are work-shared.
+  impl_->run_lanes(task, lanes);
+
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(impl_->mutex);
+    impl_->job_done.wait(lock, [&] { return impl_->lanes_remaining == 0; });
+    impl_->job_active = false;
+    error = impl_->first_error;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+unsigned Executor::resolve_threads() const {
+  if (threads > 0) return threads;
+  return resolve_pool().workers() + 1;
+}
+
+ThreadPool& Executor::resolve_pool() const {
+  return pool ? *pool : ThreadPool::shared();
+}
+
+}  // namespace mp

@@ -1,0 +1,74 @@
+#pragma once
+/// \file threading.hpp
+/// Fork-join execution engine used by all parallel algorithms in this
+/// repository.
+///
+/// The paper's algorithms are pure fork-join: partition, run p independent
+/// lanes, barrier (Algorithm 1's trailing "Barrier"). We provide a reusable
+/// pool of blocking workers rather than spawning std::thread per call —
+/// correctness tests run thousands of small parallel merges at thread counts
+/// far above the host's core count, and spawn cost would dominate.
+///
+/// Exceptions thrown by a lane are captured and rethrown on the calling
+/// thread after every lane has finished, so a failing comparator cannot
+/// leave the pool wedged.
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace mp {
+
+/// Fixed-size pool of worker threads executing fork-join lane tasks.
+///
+/// Thread-safety: parallel_for_lanes may only be invoked from one thread at
+/// a time (the pool is an engine, not a scheduler); this matches the
+/// paper's single-merge-at-a-time structure. Nested invocation from inside
+/// a lane is rejected with MP_CHECK.
+class ThreadPool {
+ public:
+  /// Creates `workers` persistent worker threads. Negative means "use
+  /// std::thread::hardware_concurrency() - 1" (the calling thread is the
+  /// extra lane runner). Zero creates no workers: every lane then runs
+  /// inline on the calling thread, in lane order — the deterministic mode
+  /// the PRAM cost-model simulator relies on.
+  explicit ThreadPool(int workers = -1);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (excluding the caller).
+  unsigned workers() const;
+
+  /// Runs task(lane) for every lane in [0, lanes). Lane 0 executes on the
+  /// calling thread; remaining lanes are distributed over the workers (a
+  /// worker runs multiple lanes when lanes > workers+1). Returns after all
+  /// lanes complete; rethrows the first lane exception, if any.
+  void parallel_for_lanes(unsigned lanes,
+                          const std::function<void(unsigned)>& task);
+
+  /// Process-wide default pool, sized to the host, created on first use.
+  /// Suitable for the public convenience entry points.
+  static ThreadPool& shared();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Execution context handed to the parallel algorithms: a pool plus the
+/// number of lanes ("p" in the paper) to use.
+struct Executor {
+  ThreadPool* pool = nullptr;  ///< nullptr => ThreadPool::shared()
+  unsigned threads = 0;        ///< 0 => workers()+1 of the pool
+
+  /// Resolved lane count, >= 1.
+  unsigned resolve_threads() const;
+  /// Pool to submit to (shared pool if unset).
+  ThreadPool& resolve_pool() const;
+};
+
+}  // namespace mp

@@ -1,0 +1,55 @@
+#pragma once
+/// \file timer.hpp
+/// Wall-clock timing helpers for the benchmark harnesses.
+
+#include <chrono>
+#include <cstdint>
+
+namespace mp {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  std::uint64_t nanoseconds() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Runs `fn` repeatedly until at least `min_seconds` have elapsed (and at
+/// least `min_reps` repetitions have run), returning the best-of per-rep
+/// time in seconds. Best-of is the right statistic for cold-start-free
+/// kernels on a noisy shared host.
+template <typename Fn>
+double time_best_of(Fn&& fn, int min_reps = 3, double min_seconds = 0.05) {
+  double best = 1e300;
+  double total = 0.0;
+  int reps = 0;
+  while (reps < min_reps || total < min_seconds) {
+    Timer t;
+    fn();
+    const double s = t.seconds();
+    best = s < best ? s : best;
+    total += s;
+    ++reps;
+    if (reps > 1000) break;  // degenerate sub-microsecond bodies
+  }
+  return best;
+}
+
+}  // namespace mp

@@ -1,0 +1,263 @@
+// Tests for the related-work baselines (S11-S15): Shiloach-Vishkin,
+// Akl-Santoro and Deo-Sarkar produce the exact stable merge; the
+// Deo-Sarkar selection coincides with the diagonal search; bitonic
+// sort/merge are correct (though unstable); and the naive equal split
+// demonstrably fails on the paper's adversarial input (E8).
+
+#include "baselines/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "core/merge_path.hpp"
+#include "test_support.hpp"
+#include "util/data_gen.hpp"
+
+namespace mp {
+namespace {
+
+using namespace mp::baselines;
+
+class BaselineCorrectness
+    : public ::testing::TestWithParam<std::tuple<Dist, unsigned>> {};
+
+TEST_P(BaselineCorrectness, AllCorrectBaselinesMatchReference) {
+  const auto [dist, threads] = GetParam();
+  const auto input = make_merge_input(dist, 1200, 900, 101);
+  const auto expected = test::reference_merge(input.a, input.b);
+  const Executor exec{nullptr, threads};
+
+  EXPECT_EQ(shiloach_vishkin_merge(input.a, input.b, exec), expected)
+      << "shiloach_vishkin";
+  EXPECT_EQ(akl_santoro_merge(input.a, input.b, exec), expected)
+      << "akl_santoro";
+  EXPECT_EQ(deo_sarkar_merge(input.a, input.b, exec), expected)
+      << "deo_sarkar";
+  EXPECT_EQ(bitonic_merge(input.a, input.b, exec), expected) << "bitonic";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistsAndThreads, BaselineCorrectness,
+    ::testing::Combine(::testing::ValuesIn(kAllDists),
+                       ::testing::Values(1u, 2u, 4u, 7u, 12u)),
+    [](const auto& pinfo) {
+      return to_string(std::get<0>(pinfo.param)) + "_p" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+TEST(ShiloachVishkin, PartitionImbalanceOnSkewedInput) {
+  // disjoint_low stacks all of A before all of B: the segment straddling
+  // the A/B crossover spans a full A block AND a full B block, so some
+  // processor is assigned well over the N/p mean — but never more than
+  // the 2N/p bound the paper quotes for [6].
+  const auto input = make_merge_input(Dist::kDisjointLow, 1000, 1000, 103);
+  std::vector<std::int32_t> out(2000);
+  const unsigned p = 4;
+  const SvPartition part = shiloach_vishkin_merge(
+      input.a.data(), 1000, input.b.data(), 1000, out.data(),
+      Executor{nullptr, p});
+  EXPECT_EQ(out, test::reference_merge(input.a, input.b));
+  const std::size_t mean = 2000 / p;
+  EXPECT_GT(part.max_total(), mean + mean / 4);  // visibly imbalanced
+  EXPECT_LE(part.max_total(), 2 * mean + 2);     // the paper's 2N/p bound
+}
+
+TEST(ShiloachVishkin, NeverExceedsTwoNOverP) {
+  // Property across all distributions and several p: assigned <= 2N/p.
+  for (Dist dist : kAllDists) {
+    const auto input = make_merge_input(dist, 1111, 999, 211);
+    std::vector<std::int32_t> out(2110);
+    for (unsigned p : {2u, 3u, 8u}) {
+      const SvPartition part = shiloach_vishkin_merge(
+          input.a.data(), 1111, input.b.data(), 999, out.data(),
+          Executor{nullptr, p});
+      EXPECT_EQ(out, test::reference_merge(input.a, input.b));
+      // Each of a processor's two segments spans at most one A block and
+      // one B block: <= ceil(m/p) + ceil(n/p) per segment.
+      const std::size_t bound =
+          2 * ((1111 + p - 1) / p + (999 + p - 1) / p);
+      EXPECT_LE(part.max_total(), bound) << to_string(dist) << " p=" << p;
+    }
+  }
+}
+
+TEST(ShiloachVishkin, StableWithDuplicates) {
+  const auto input = make_keyed_input(1000, 1000, 6, 107);
+  std::vector<KeyedRecord> out(2000);
+  shiloach_vishkin_merge(input.a.data(), 1000, input.b.data(), 1000,
+                         out.data(), Executor{nullptr, 5});
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].key, out[i].key);
+    if (out[i - 1].key == out[i].key) {
+      ASSERT_LT(out[i - 1].payload, out[i].payload) << "at " << i;
+    }
+  }
+}
+
+TEST(AklSantoro, PartitionHalvesAreEqual) {
+  const auto input = make_merge_input(Dist::kUniform, 4096, 4096, 109);
+  // One round: two segments of exactly half the output each.
+  const auto segments = akl_santoro_partition(input.a.data(), 4096,
+                                              input.b.data(), 4096, 1u);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].total(), 4096u);
+  EXPECT_EQ(segments[1].total(), 4096u);
+  // Three rounds: eight equal leaves (to within rounding).
+  const auto leaves = akl_santoro_partition(input.a.data(), 4096,
+                                            input.b.data(), 4096, 3u);
+  ASSERT_EQ(leaves.size(), 8u);
+  for (const auto& leaf : leaves) {
+    EXPECT_GE(leaf.total(), 1023u);
+    EXPECT_LE(leaf.total(), 1025u);
+  }
+}
+
+TEST(AklSantoro, SegmentsAreOrderConsistent) {
+  const auto input = make_merge_input(Dist::kFewDuplicates, 2000, 1500, 113);
+  std::vector<std::int32_t> out(3500);
+  const auto segments = akl_santoro_merge(input.a.data(), 2000,
+                                          input.b.data(), 1500, out.data(),
+                                          Executor{nullptr, 8});
+  EXPECT_EQ(out, test::reference_merge(input.a, input.b));
+  // Leaves tile both arrays contiguously.
+  std::size_t a_cursor = 0, b_cursor = 0, out_cursor = 0;
+  for (const auto& seg : segments) {
+    EXPECT_EQ(seg.a_begin, a_cursor);
+    EXPECT_EQ(seg.b_begin, b_cursor);
+    EXPECT_EQ(seg.out_begin, out_cursor);
+    a_cursor = seg.a_end;
+    b_cursor = seg.b_end;
+    out_cursor += seg.total();
+  }
+  EXPECT_EQ(a_cursor, 2000u);
+  EXPECT_EQ(b_cursor, 1500u);
+}
+
+TEST(DeoSarkar, KthSplitMatchesDiagonalIntersectionEverywhere) {
+  // The two search procedures must find the identical stable co-rank.
+  for (Dist dist : kAllDists) {
+    const auto input = make_merge_input(dist, 300, 200, 127);
+    for (std::size_t k = 0; k <= 500; k += 7) {
+      const PathPoint via_select =
+          kth_element_split(input.a.data(), 300, input.b.data(), 200, k);
+      const PathPoint via_diagonal = path_point_on_diagonal(
+          input.a.data(), 300, input.b.data(), 200, k);
+      EXPECT_EQ(via_select, via_diagonal)
+          << to_string(dist) << " k=" << k;
+    }
+  }
+}
+
+TEST(DeoSarkar, StableWithDuplicates) {
+  const auto input = make_keyed_input(800, 1200, 5, 131);
+  std::vector<KeyedRecord> out(2000);
+  deo_sarkar_merge(input.a.data(), 800, input.b.data(), 1200, out.data(),
+                   Executor{nullptr, 6});
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].key, out[i].key);
+    if (out[i - 1].key == out[i].key) {
+      ASSERT_LT(out[i - 1].payload, out[i].payload) << "at " << i;
+    }
+  }
+}
+
+TEST(Bitonic, SortsArbitraryLengths) {
+  for (std::size_t n : {0u, 1u, 2u, 3u, 63u, 64u, 65u, 1000u, 4096u}) {
+    auto data = make_unsorted_values(n, 300 + n);
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    bitonic_sort(std::span<std::int32_t>(data), Executor{nullptr, 4});
+    EXPECT_EQ(data, expected) << "n=" << n;
+  }
+}
+
+TEST(Bitonic, MergeHandlesUnequalAndEmptySides) {
+  constexpr std::pair<std::size_t, std::size_t> kShapes[] = {
+      {0, 0}, {0, 100}, {100, 0}, {1, 1}, {100, 37}, {512, 512}, {511, 513}};
+  for (const auto& [m, n] : kShapes) {
+    const auto input = make_merge_input(Dist::kUniform, m, n, 400 + m + n);
+    auto out = bitonic_merge(input.a, input.b, Executor{nullptr, 3});
+    EXPECT_EQ(out, test::reference_merge(input.a, input.b))
+        << "m=" << m << " n=" << n;
+  }
+}
+
+TEST(Bitonic, WorkIsSuperlinear) {
+  // O(N log N) merge network vs O(N) merge: compare counted comparisons.
+  const auto input = make_merge_input(Dist::kUniform, 4096, 4096, 137);
+  std::vector<std::int32_t> out(8192);
+  ThreadPool serial(0);
+  std::vector<OpCounts> counts(1);
+  bitonic_merge(input.a.data(), 4096, input.b.data(), 4096, out.data(),
+                Executor{&serial, 1}, std::less<>{},
+                std::span<OpCounts>(counts));
+  // 8192 * log2(8192) / 2 = 8192 * 13 / 2 comparisons in the network.
+  EXPECT_GE(counts[0].compares, 8192u * 13 / 2);
+}
+
+TEST(RadixSort, SortsRandomDataAcrossThreadCounts) {
+  for (std::size_t n : {0u, 1u, 2u, 255u, 256u, 65536u, 100001u}) {
+    for (unsigned p : {1u, 4u, 13u}) {
+      auto data = make_unsorted_values(n, 500 + n + p);
+      auto expected = data;
+      std::sort(expected.begin(), expected.end());
+      parallel_radix_sort(data.data(), n, Executor{nullptr, p});
+      EXPECT_EQ(data, expected) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(RadixSort, HandlesNegativeValuesAndExtremes) {
+  std::vector<std::int32_t> data{
+      0,  -1, 1,  std::numeric_limits<std::int32_t>::min(),
+      std::numeric_limits<std::int32_t>::max(), -1000000, 1000000, -1, 0};
+  auto expected = data;
+  std::sort(expected.begin(), expected.end());
+  parallel_radix_sort(std::span<std::int32_t>(data), Executor{nullptr, 3});
+  EXPECT_EQ(data, expected);
+}
+
+TEST(RadixSort, AdversarialBytePatterns) {
+  // LSD correctness depends on per-pass stability, which these patterns
+  // stress: values differing only in one byte position, per position.
+  Xoshiro256 rng(71);
+  for (unsigned byte = 0; byte < 4; ++byte) {
+    std::vector<std::int32_t> data(20000);
+    for (auto& v : data)
+      v = static_cast<std::int32_t>(
+          static_cast<std::uint32_t>(rng.bounded(256)) << (8 * byte));
+    auto expected = data;
+    std::sort(expected.begin(), expected.end());
+    parallel_radix_sort(data.data(), data.size(), Executor{nullptr, 8});
+    EXPECT_EQ(data, expected) << "byte " << byte;
+  }
+}
+
+TEST(NaiveSplit, FailsOnDisjointInput) {
+  // The introduction's counterexample: all of A greater than all of B.
+  const auto input = make_merge_input(Dist::kDisjointHigh, 512, 512, 139);
+  std::vector<std::int32_t> out(1024);
+  naive_split_merge(input.a.data(), 512, input.b.data(), 512, out.data(),
+                    Executor{nullptr, 4});
+  // The output is a permutation of the union...
+  auto sorted_out = out;
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_out, test::reference_merge(input.a, input.b));
+  // ...but NOT sorted (4 chunk pairs each interleave high-A with low-B).
+  EXPECT_FALSE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(NaiveSplit, HappensToWorkOnPerfectlyAlignedInput) {
+  // Interleaved input aligns the chunk pairs, the lucky case: documents
+  // that the naive scheme is data-dependent, not merely slow.
+  const auto input = make_merge_input(Dist::kInterleaved, 512, 512, 149);
+  std::vector<std::int32_t> out(1024);
+  naive_split_merge(input.a.data(), 512, input.b.data(), 512, out.data(),
+                    Executor{nullptr, 4});
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+}  // namespace
+}  // namespace mp

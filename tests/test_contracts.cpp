@@ -1,0 +1,105 @@
+// Contract tests: MP_CHECK violations at public API boundaries must abort
+// loudly (death tests), and documented preconditions hold exactly at their
+// boundaries (no off-by-one acceptance or rejection).
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "core/mergepath.hpp"
+#include "extmem/external_sort.hpp"
+#include "util/cli.hpp"
+
+namespace mp {
+namespace {
+
+using CheckDeath = ::testing::Test;
+
+TEST(Contracts, PartitionRejectsZeroParts) {
+  const std::vector<std::int32_t> a{1}, b{2};
+  EXPECT_DEATH(partition_merge_path(a.data(), 1, b.data(), 1,
+                                    std::size_t{0}),
+               "check failed");
+}
+
+TEST(Contracts, KthSmallestRejectsOutOfRangeRank) {
+  const std::vector<std::int32_t> a{1}, b{2};
+  EXPECT_DEATH(kth_smallest(a.data(), 1, b.data(), 1, 2), "check failed");
+  // Boundary: rank == m + n - 1 is the last valid one.
+  EXPECT_EQ(kth_smallest(a.data(), 1, b.data(), 1, 1), 2);
+}
+
+TEST(Contracts, MergeFirstKRejectsOversizedK) {
+  const std::vector<std::int32_t> a{1}, b{2};
+  std::vector<std::int32_t> out(3);
+  EXPECT_DEATH(merge_first_k(a.data(), 1, b.data(), 1, out.data(), 3),
+               "check failed");
+  merge_first_k(a.data(), 1, b.data(), 1, out.data(), 2);  // boundary OK
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 2);
+}
+
+TEST(Contracts, InstrumentSpanMustCoverLanes) {
+  const std::vector<std::int32_t> a{1, 2, 3, 4}, b{5, 6, 7, 8};
+  std::vector<std::int32_t> out(8);
+  std::vector<OpCounts> too_few(2);
+  ThreadPool serial(0);
+  EXPECT_DEATH(parallel_merge(a.data(), 4, b.data(), 4, out.data(),
+                              Executor{&serial, 4}, std::less<>{},
+                              std::span<OpCounts>(too_few)),
+               "check failed");
+}
+
+TEST(Contracts, StreamMergerRejectsPushAfterClose) {
+  StreamMerger<std::int32_t> merger;
+  merger.close_a();
+  const std::vector<std::int32_t> chunk{1};
+  EXPECT_DEATH(merger.push_a(std::span<const std::int32_t>(chunk)),
+               "check failed");
+}
+
+TEST(Contracts, CacheRejectsInvalidGeometry) {
+  cachesim::CacheConfig config;
+  config.size_bytes = 1000;  // not a multiple of line*assoc
+  config.line_bytes = 64;
+  config.associativity = 4;
+  EXPECT_DEATH(cachesim::Cache cache(config), "check failed");
+}
+
+TEST(Contracts, BlockDeviceRejectsUnwrittenRead) {
+  extmem::BlockDevice device;
+  const std::uint64_t block = device.allocate(1);
+  std::uint8_t buf[8];
+  EXPECT_DEATH(device.read_block(block, buf, 8), "check failed");
+  EXPECT_DEATH(device.read_block(block + 1, buf, 8), "check failed");
+}
+
+TEST(Contracts, ExternalSortRequiresTwoBlocksOfMemory) {
+  extmem::BlockDevice device;  // 64 KiB blocks = 16Ki int32
+  extmem::ExternalSortConfig config;
+  config.memory_elems = 1000;  // less than two blocks
+  const std::vector<std::int32_t> data{3, 1, 2};
+  EXPECT_DEATH(extmem::external_sort_vector(device, data, config),
+               "check failed");
+}
+
+TEST(Contracts, SegmentedConfigDegenerateCacheStillWorks) {
+  // Documented behaviour, not death: a cache too small for 3 elements
+  // clamps L to 1 and the merge still completes.
+  SegmentedConfig config;
+  config.cache_bytes = 8;  // 2 int32 elements => L clamps to 1
+  EXPECT_EQ(config.resolve_segment_length<std::int32_t>(), 1u);
+  const std::vector<std::int32_t> a{1, 3}, b{2, 4};
+  std::vector<std::int32_t> out(4);
+  segmented_parallel_merge(a.data(), 2, b.data(), 2, out.data(), config);
+  EXPECT_EQ(out, (std::vector<std::int32_t>{1, 2, 3, 4}));
+}
+
+TEST(Contracts, CliErrorsAreReportedNotFatal) {
+  const char* argv[] = {"prog", "stray"};
+  Cli cli(2, argv);
+  EXPECT_FALSE(cli.ok());
+  EXPECT_FALSE(cli.error().empty());
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,126 @@
+// Tests for the workload generators: every distribution yields sorted
+// arrays of the requested sizes, deterministically in the seed, with the
+// structural property its name promises.
+
+#include "util/data_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mp {
+namespace {
+
+class DistShape : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(DistShape, SortedExactSizesAndDeterministic) {
+  const Dist dist = GetParam();
+  for (const auto& [m, n] :
+       std::vector<std::pair<std::size_t, std::size_t>>{
+           {0, 0}, {1, 0}, {0, 1}, {100, 100}, {1000, 17}, {17, 1000}}) {
+    const auto x = make_merge_input(dist, m, n, 99);
+    EXPECT_EQ(x.a.size(), m);
+    EXPECT_EQ(x.b.size(), n);
+    EXPECT_TRUE(std::is_sorted(x.a.begin(), x.a.end()));
+    EXPECT_TRUE(std::is_sorted(x.b.begin(), x.b.end()));
+    const auto y = make_merge_input(dist, m, n, 99);
+    EXPECT_EQ(x.a, y.a);
+    EXPECT_EQ(x.b, y.b);
+    const auto z = make_merge_input(dist, m, n, 100);
+    if (m * n > 100 && dist != Dist::kAllEqual &&
+        dist != Dist::kInterleaved && dist != Dist::kOrganPipe) {
+      EXPECT_TRUE(x.a != z.a || x.b != z.b) << "seed must matter";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDists, DistShape, ::testing::ValuesIn(kAllDists),
+                         [](const auto& pinfo) {
+                           return to_string(pinfo.param);
+                         });
+
+TEST(DataGen, DisjointShapesAreActuallyDisjoint) {
+  const auto low = make_merge_input(Dist::kDisjointLow, 500, 500, 3);
+  EXPECT_LT(low.a.back(), low.b.front());
+  const auto high = make_merge_input(Dist::kDisjointHigh, 500, 500, 3);
+  EXPECT_GT(high.a.front(), high.b.back());
+}
+
+TEST(DataGen, InterleavedAlternatesStrictly) {
+  const auto x = make_merge_input(Dist::kInterleaved, 100, 100, 3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(x.a[i], static_cast<std::int32_t>(2 * i));
+    EXPECT_EQ(x.b[i], static_cast<std::int32_t>(2 * i + 1));
+  }
+}
+
+TEST(DataGen, AllEqualIsConstant) {
+  const auto x = make_merge_input(Dist::kAllEqual, 50, 60, 3);
+  for (auto v : x.a) EXPECT_EQ(v, 42);
+  for (auto v : x.b) EXPECT_EQ(v, 42);
+}
+
+TEST(DataGen, FewDuplicatesHasSmallUniverse) {
+  const auto x = make_merge_input(Dist::kFewDuplicates, 10000, 10000, 5);
+  std::unordered_set<std::int32_t> distinct(x.a.begin(), x.a.end());
+  distinct.insert(x.b.begin(), x.b.end());
+  EXPECT_LT(distinct.size(), 1000u);
+}
+
+TEST(DataGen, ParseDistRoundTrips) {
+  for (Dist d : kAllDists) {
+    Dist parsed;
+    ASSERT_TRUE(parse_dist(to_string(d), parsed));
+    EXPECT_EQ(parsed, d);
+  }
+  Dist sink;
+  EXPECT_FALSE(parse_dist("no_such_dist", sink));
+}
+
+TEST(DataGen, UnsortedValuesAreUnsortedAndDeterministic) {
+  const auto v = make_unsorted_values(10000, 7);
+  EXPECT_EQ(v.size(), 10000u);
+  EXPECT_FALSE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_EQ(v, make_unsorted_values(10000, 7));
+}
+
+TEST(DataGen, ZipfValuesAreSortedSkewedAndDeterministic) {
+  const auto v = make_zipf_values(50000, 10000, 1.1, 5);
+  EXPECT_EQ(v.size(), 50000u);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+  EXPECT_EQ(v, make_zipf_values(50000, 10000, 1.1, 5));
+  // Skew: rank 0 (the most frequent key) dominates — with exponent 1.1
+  // over a 10k universe it should hold several percent of the mass, far
+  // above the uniform 1/10000.
+  const auto rank0 = static_cast<std::size_t>(
+      std::count(v.begin(), v.end(), 0));
+  EXPECT_GT(rank0, v.size() / 100);
+  // All values within the universe.
+  EXPECT_GE(v.front(), 0);
+  EXPECT_LT(v.back(), 10000);
+}
+
+TEST(DataGen, ZipfHigherExponentIsMoreSkewed) {
+  const auto mild = make_zipf_values(30000, 1000, 0.8, 7);
+  const auto steep = make_zipf_values(30000, 1000, 2.0, 7);
+  const auto head = [](const std::vector<std::int32_t>& v) {
+    return static_cast<std::size_t>(std::count(v.begin(), v.end(), 0));
+  };
+  EXPECT_GT(head(steep), 2 * head(mild));
+}
+
+TEST(DataGen, KeyedInputEncodesOriginAndPosition) {
+  const auto x = make_keyed_input(100, 100, 10, 9);
+  EXPECT_TRUE(std::is_sorted(x.a.begin(), x.a.end()));
+  EXPECT_TRUE(std::is_sorted(x.b.begin(), x.b.end()));
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(x.a[i].payload, (0u << 28) | i);
+    EXPECT_EQ(x.b[i].payload, (1u << 28) | i);
+    EXPECT_LT(x.a[i].key, 10);
+    EXPECT_GE(x.a[i].key, 0);
+  }
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,148 @@
+// Tests for core/merge_by_key.hpp: key/value merging, bounded first-k
+// merges, and the O(log) order statistic.
+
+#include "core/merge_by_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "test_support.hpp"
+#include "util/data_gen.hpp"
+
+namespace mp {
+namespace {
+
+// Values tag their origin so stability and pairing can be verified.
+std::vector<std::uint32_t> tag_values(std::size_t n, std::uint32_t origin) {
+  std::vector<std::uint32_t> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = (origin << 28) | static_cast<std::uint32_t>(i);
+  return v;
+}
+
+class MergeByKeyParam
+    : public ::testing::TestWithParam<std::tuple<Dist, unsigned>> {};
+
+TEST_P(MergeByKeyParam, KeysMatchPlainMergeAndValuesFollowKeys) {
+  const auto [dist, threads] = GetParam();
+  const auto input = make_merge_input(dist, 1000, 700, 171);
+  const auto values_a = tag_values(1000, 0);
+  const auto values_b = tag_values(700, 1);
+
+  const auto [keys, values] = parallel_merge_by_key(
+      input.a, values_a, input.b, values_b, Executor{nullptr, threads});
+
+  EXPECT_EQ(keys, test::reference_merge(input.a, input.b));
+  // Every value still sits next to its original key.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::uint32_t origin = values[i] >> 28;
+    const std::uint32_t index = values[i] & 0x0fffffffu;
+    const std::int32_t original_key =
+        origin == 0 ? input.a[index] : input.b[index];
+    ASSERT_EQ(keys[i], original_key) << "at " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistsAndThreads, MergeByKeyParam,
+    ::testing::Combine(::testing::ValuesIn(kAllDists),
+                       ::testing::Values(1u, 4u, 9u)),
+    [](const auto& pinfo) {
+      return to_string(std::get<0>(pinfo.param)) + "_p" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+TEST(MergeByKey, StableOnTies) {
+  // All keys equal: output values must be A's in order, then B's in order.
+  const std::vector<std::int32_t> keys_a(50, 7), keys_b(30, 7);
+  const auto values_a = tag_values(50, 0);
+  const auto values_b = tag_values(30, 1);
+  const auto [keys, values] = parallel_merge_by_key(
+      keys_a, values_a, keys_b, values_b, Executor{nullptr, 4});
+  std::vector<std::uint32_t> expected = values_a;
+  expected.insert(expected.end(), values_b.begin(), values_b.end());
+  EXPECT_EQ(values, expected);
+  EXPECT_EQ(keys.size(), 80u);
+}
+
+TEST(MergeByKey, EmptySides) {
+  const std::vector<std::int32_t> keys{1, 2, 3};
+  const std::vector<std::uint32_t> vals{10, 20, 30};
+  const std::vector<std::int32_t> no_keys;
+  const std::vector<std::uint32_t> no_vals;
+  auto [k1, v1] = parallel_merge_by_key(keys, vals, no_keys, no_vals);
+  EXPECT_EQ(k1, keys);
+  EXPECT_EQ(v1, vals);
+  auto [k2, v2] = parallel_merge_by_key(no_keys, no_vals, keys, vals);
+  EXPECT_EQ(k2, keys);
+  EXPECT_EQ(v2, vals);
+}
+
+TEST(MergeByKey, HeavyPayloadType) {
+  // Values of a non-trivial type (strings) to check the value path never
+  // assumes trivially-copyable payloads.
+  const std::vector<std::int32_t> keys_a{1, 3, 5};
+  const std::vector<std::int32_t> keys_b{2, 4, 6};
+  const std::vector<std::string> values_a{"one", "three", "five"};
+  const std::vector<std::string> values_b{"two", "four", "six"};
+  const auto [keys, values] =
+      parallel_merge_by_key(keys_a, values_a, keys_b, values_b);
+  const std::vector<std::string> expected{"one", "two",  "three",
+                                          "four", "five", "six"};
+  EXPECT_EQ(values, expected);
+}
+
+TEST(MergeFirstK, PrefixOfFullMerge) {
+  const auto input = make_merge_input(Dist::kClustered, 800, 600, 173);
+  const auto full = test::reference_merge(input.a, input.b);
+  for (std::size_t k : {0u, 1u, 7u, 400u, 1399u, 1400u}) {
+    std::vector<std::int32_t> out(k);
+    merge_first_k(input.a.data(), 800, input.b.data(), 600, out.data(), k,
+                  Executor{nullptr, 4});
+    const std::vector<std::int32_t> expected(full.begin(),
+                                             full.begin() +
+                                                 static_cast<std::ptrdiff_t>(k));
+    EXPECT_EQ(out, expected) << "k=" << k;
+  }
+}
+
+TEST(MergeFirstK, TopKUseCase) {
+  // k smallest of two large arrays without touching the rest.
+  const auto input = make_merge_input(Dist::kUniform, 100000, 100000, 179);
+  std::vector<std::int32_t> top10(10);
+  merge_first_k(input.a.data(), 100000, input.b.data(), 100000,
+                top10.data(), 10);
+  const auto full = test::reference_merge(input.a, input.b);
+  EXPECT_TRUE(std::equal(top10.begin(), top10.end(), full.begin()));
+}
+
+TEST(KthSmallest, MatchesMergedSequenceEverywhere) {
+  for (Dist dist : kAllDists) {
+    const auto input = make_merge_input(dist, 300, 200, 181);
+    const auto full = test::reference_merge(input.a, input.b);
+    for (std::size_t rank = 0; rank < full.size(); rank += 13) {
+      EXPECT_EQ(kth_smallest(input.a.data(), 300, input.b.data(), 200, rank),
+                full[rank])
+          << to_string(dist) << " rank=" << rank;
+    }
+    // Boundary ranks.
+    EXPECT_EQ(kth_smallest(input.a.data(), 300, input.b.data(), 200, 0),
+              full.front());
+    EXPECT_EQ(kth_smallest(input.a.data(), 300, input.b.data(), 200,
+                           full.size() - 1),
+              full.back());
+  }
+}
+
+TEST(KthSmallest, MedianOfTwoArrays) {
+  // The classic interview formulation, O(log) here.
+  const std::vector<std::int32_t> a{1, 3, 8, 9, 15};
+  const std::vector<std::int32_t> b{7, 11, 18, 19, 21, 25};
+  // Union sorted: 1 3 7 8 9 11 15 18 19 21 25 -> median (rank 5) = 11.
+  EXPECT_EQ(kth_smallest(a.data(), a.size(), b.data(), b.size(), 5), 11);
+}
+
+}  // namespace
+}  // namespace mp

@@ -1,0 +1,99 @@
+// End-to-end tests of the mpsort CLI tool: sort/merge/check round-trips in
+// text, numeric and binary modes, driven through the real binary.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// Located relative to the test binary: build/tests/.. -> build/tools.
+std::string tool_path() {
+  return std::string(MPSORT_BINARY);
+}
+
+std::string temp_file(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  out << contents;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int run(const std::string& args) {
+  const std::string cmd = tool_path() + " " + args + " 2>/dev/null";
+  const int status = std::system(cmd.c_str());
+  return WEXITSTATUS(status);
+}
+
+TEST(MpsortTool, SortsTextLexicographically) {
+  const auto in = temp_file("in.txt");
+  const auto out = temp_file("out.txt");
+  write_file(in, "pear\napple\nbanana\n");
+  ASSERT_EQ(run("sort " + in + " " + out), 0);
+  EXPECT_EQ(read_file(out), "apple\nbanana\npear\n");
+  EXPECT_EQ(run("check " + out), 0);
+  EXPECT_EQ(run("check " + in), 1);
+}
+
+TEST(MpsortTool, NumericModeOrdersByValue) {
+  const auto in = temp_file("nums.txt");
+  const auto out = temp_file("nums_sorted.txt");
+  write_file(in, "100\n9\n-3\n20\n");
+  ASSERT_EQ(run("sort " + in + " " + out + " --numeric"), 0);
+  EXPECT_EQ(read_file(out), "-3\n9\n20\n100\n");
+  // Lexicographic check would call this unsorted; numeric check passes.
+  EXPECT_EQ(run("check " + out + " --numeric"), 0);
+}
+
+TEST(MpsortTool, MergesPresortedInputsAndRejectsUnsorted) {
+  const auto a = temp_file("a.txt");
+  const auto b = temp_file("b.txt");
+  const auto out = temp_file("m.txt");
+  write_file(a, "ant\nfox\n");
+  write_file(b, "bee\nzebra\n");
+  ASSERT_EQ(run("merge " + out + " " + a + " " + b), 0);
+  EXPECT_EQ(read_file(out), "ant\nbee\nfox\nzebra\n");
+
+  const auto bad = temp_file("bad.txt");
+  write_file(bad, "zebra\nant\n");
+  EXPECT_EQ(run("merge " + out + " " + a + " " + bad), 1);
+}
+
+TEST(MpsortTool, BinaryRoundTrip) {
+  const auto in = temp_file("in.bin");
+  const auto out = temp_file("out.bin");
+  const std::vector<std::int32_t> values{42, -7, 0, 1000000, -7};
+  {
+    std::ofstream f(in, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * 4));
+  }
+  ASSERT_EQ(run("sort " + in + " " + out + " --binary"), 0);
+  std::ifstream f(out, std::ios::binary);
+  std::vector<std::int32_t> sorted(values.size());
+  f.read(reinterpret_cast<char*>(sorted.data()),
+         static_cast<std::streamsize>(sorted.size() * 4));
+  EXPECT_EQ(sorted, (std::vector<std::int32_t>{-7, -7, 0, 42, 1000000}));
+  EXPECT_EQ(run("check " + out + " --binary"), 0);
+}
+
+TEST(MpsortTool, UsageErrors) {
+  EXPECT_EQ(run("sort onlyonearg"), 2);
+  EXPECT_EQ(run("unknown-command x y"), 2);
+}
+
+}  // namespace

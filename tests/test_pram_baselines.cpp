@@ -1,0 +1,108 @@
+// Tests for pram/baselines_sim.hpp: the modelled baseline runs respect
+// the relationships Section V claims — and the Hypercore preset behaves
+// like the machine the paper describes.
+
+#include "pram/baselines_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "pram/speedup.hpp"
+#include "util/data_gen.hpp"
+#include "util/rng.hpp"
+
+namespace mp::pram {
+namespace {
+
+MergeInput narrow_b_input(std::size_t n, std::uint64_t seed) {
+  MergeInput input = make_merge_input(Dist::kUniform, n, n, seed);
+  const std::int32_t lo = std::numeric_limits<std::int32_t>::max() / 16 * 6;
+  const std::int32_t hi = std::numeric_limits<std::int32_t>::max() / 16 * 7;
+  Xoshiro256 rng(seed + 1);
+  for (auto& x : input.b)
+    x = lo + static_cast<std::int32_t>(
+                 rng.bounded(static_cast<std::uint64_t>(hi - lo)));
+  std::sort(input.b.begin(), input.b.end());
+  return input;
+}
+
+TEST(BaselineSim, DeoSarkarMatchesMergePathUpToConstants) {
+  const auto model = MachineModel::paper_x5670();
+  const auto input = make_merge_input(Dist::kUniform, 1 << 17, 1 << 17, 5);
+  for (unsigned p : {4u, 12u}) {
+    const auto mp_run = simulate_parallel_merge(input.a, input.b, p, model);
+    const auto ds_run = simulate_deo_sarkar(input.a, input.b, p, model);
+    EXPECT_NEAR(ds_run.time_ns / mp_run.time_ns, 1.0, 0.05) << "p=" << p;
+    EXPECT_EQ(ds_run.phases, 1u);
+  }
+}
+
+TEST(BaselineSim, ShiloachVishkinPaysForImbalanceOnSkew) {
+  const auto model = MachineModel::paper_x5670();
+  const auto skew = narrow_b_input(1 << 17, 7);
+  const auto uniform = make_merge_input(Dist::kUniform, 1 << 17, 1 << 17, 7);
+  const unsigned p = 12;
+
+  const double uniform_ratio =
+      simulate_shiloach_vishkin(uniform.a, uniform.b, p, model).time_ns /
+      simulate_parallel_merge(uniform.a, uniform.b, p, model).time_ns;
+  const double skew_ratio =
+      simulate_shiloach_vishkin(skew.a, skew.b, p, model).time_ns /
+      simulate_parallel_merge(skew.a, skew.b, p, model).time_ns;
+  // Uniform: near parity. Skewed: a clear latency penalty, within the 2x
+  // worst case Section V quotes.
+  EXPECT_LT(uniform_ratio, 1.1);
+  EXPECT_GT(skew_ratio, 1.2);
+  EXPECT_LE(skew_ratio, 2.1);
+}
+
+TEST(BaselineSim, AklSantoroPaysDependentRounds) {
+  const auto model = MachineModel::paper_x5670();
+  const auto input = make_merge_input(Dist::kUniform, 1 << 16, 1 << 16, 9);
+  const unsigned p = 8;
+  const auto as_run = simulate_akl_santoro(input.a, input.b, p, model);
+  const auto mp_run = simulate_parallel_merge(input.a, input.b, p, model);
+  // log2(8) partition rounds + 1 merge phase.
+  EXPECT_EQ(as_run.phases, 4u);
+  EXPECT_EQ(mp_run.phases, 1u);
+  // More barrier time, similar compute (p is a power of two: balanced).
+  EXPECT_GT(as_run.barrier_ns, mp_run.barrier_ns);
+  EXPECT_NEAR(as_run.compute_ns / mp_run.compute_ns, 1.0, 0.15);
+}
+
+TEST(BaselineSim, BitonicWorkBlowupShowsInModeledTime) {
+  const auto model = MachineModel::paper_x5670();
+  const auto input = make_merge_input(Dist::kUniform, 1 << 15, 1 << 15, 11);
+  const unsigned p = 8;
+  const auto bitonic = simulate_bitonic_merge(input.a, input.b, p, model);
+  const auto mp_run = simulate_parallel_merge(input.a, input.b, p, model);
+  // ~log2(64Ki) = 16 passes: expect several-fold slower.
+  EXPECT_GT(bitonic.time_ns, 5 * mp_run.time_ns);
+  EXPECT_GE(bitonic.phases, 16u);
+  // Work blow-up ~ (log N)/2 halved-constant vs the merge's ~2 ops per
+  // element: 6x is the conservative side of the asymptotic gap at 64Ki.
+  EXPECT_GT(bitonic.work_ops, 6 * mp_run.work_ops);
+}
+
+TEST(HypercoreModel, ScalesFurtherThanTheXeonModel) {
+  const auto hyper = hypercore_model();
+  const auto xeon = MachineModel::paper_x5670();
+  // A bandwidth-exposed size (32 MiB per array): the Xeon model's memory
+  // system saturates near 11 lanes while the Hypercore fabric keeps
+  // feeding lanes into the 40s.
+  const std::vector<unsigned> threads{48};
+  const auto hyper_curve = merge_speedup_curve(1 << 22, threads, hyper, 13);
+  const auto xeon_curve = merge_speedup_curve(1 << 22, threads, xeon, 13);
+  EXPECT_GT(hyper_curve.points[0].speedup, 35.0);
+  EXPECT_LT(xeon_curve.points[0].speedup, 25.0);
+}
+
+TEST(HypercoreModel, BarriersAreCheap) {
+  const auto hyper = hypercore_model();
+  EXPECT_LT(hyper.barrier_ns(64), MachineModel::paper_x5670().barrier_ns(12));
+}
+
+}  // namespace
+}  // namespace mp::pram

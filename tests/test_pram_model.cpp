@@ -1,0 +1,214 @@
+// Tests for the CREW PRAM cost-model simulator (S9): machine-model
+// arithmetic, complexity-shape validation (E3's backing logic), and the
+// speedup curves that reproduce Figure 5's qualitative structure.
+
+#include "pram/simulate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/merge_sort.hpp"
+#include "pram/machine.hpp"
+#include "pram/speedup.hpp"
+#include "util/data_gen.hpp"
+
+namespace mp::pram {
+namespace {
+
+TEST(MachineModel, LaneCostArithmetic) {
+  MachineModel m;
+  m.ns_per_compare = 2.0;
+  m.ns_per_move = 1.0;
+  m.ns_per_search_step = 10.0;
+  m.ns_per_stage = 0.5;
+  OpCounts ops;
+  ops.compare(10);
+  ops.move(20);
+  ops.search_step(3);
+  ops.stage(4);
+  EXPECT_DOUBLE_EQ(m.lane_ns(ops), 10 * 2.0 + 20 * 1.0 + 3 * 10.0 + 4 * 0.5);
+}
+
+TEST(MachineModel, PhaseCostIsMaxLanePlusBarrier) {
+  MachineModel m;
+  m.ns_per_move = 1.0;
+  m.barrier_base_ns = 100.0;
+  m.barrier_per_lane_ns = 10.0;
+  OpCounts fast, slow;
+  fast.move(10);
+  slow.move(50);
+  const OpCounts lanes[] = {fast, slow};
+  EXPECT_DOUBLE_EQ(phase_ns(m, lanes, 2), 50.0 + 100.0 + 20.0);
+}
+
+TEST(MachineModel, MemoryBandwidthSaturates) {
+  MachineModel m;
+  m.bytes_per_ns_per_lane = 2.0;
+  m.bw_saturation_lanes = 4;
+  EXPECT_DOUBLE_EQ(m.memory_ns(800, 1), 400.0);
+  EXPECT_DOUBLE_EQ(m.memory_ns(800, 2), 200.0);
+  EXPECT_DOUBLE_EQ(m.memory_ns(800, 4), 100.0);
+  EXPECT_DOUBLE_EQ(m.memory_ns(800, 12), 100.0);  // saturated
+}
+
+TEST(Simulate, SequentialMergeWorkIsLinear) {
+  const auto model = MachineModel::paper_x5670();
+  const auto small = make_merge_input(Dist::kUniform, 10000, 10000, 7);
+  const auto large = make_merge_input(Dist::kUniform, 40000, 40000, 7);
+  const auto r1 = simulate_sequential_merge(small.a, small.b, model);
+  const auto r4 = simulate_sequential_merge(large.a, large.b, model);
+  EXPECT_EQ(r1.totals.moves, 20000u);
+  EXPECT_EQ(r4.totals.moves, 80000u);
+  // Work within [N, 2N] countable ops: compares <= moves.
+  EXPECT_NEAR(static_cast<double>(r4.work_ops) /
+                  static_cast<double>(r1.work_ops),
+              4.0, 0.1);
+}
+
+TEST(Simulate, ParallelMergeWorkOverheadIsPLogN) {
+  const auto model = MachineModel::paper_x5670();
+  const auto input = make_merge_input(Dist::kUniform, 1 << 18, 1 << 18, 11);
+  const auto serial = simulate_parallel_merge(input.a, input.b, 1, model);
+  for (unsigned p : {2u, 8u, 32u}) {
+    const auto par = simulate_parallel_merge(input.a, input.b, p, model);
+    const std::uint64_t overhead = par.work_ops - serial.work_ops;
+    // Excess work <= p * (log2(min) + 1) search steps plus p extra
+    // boundary compares.
+    EXPECT_LE(overhead, static_cast<std::uint64_t>(p) * 25) << "p=" << p;
+    EXPECT_EQ(par.phases, 1u);
+  }
+}
+
+TEST(Simulate, ParallelMergeCriticalPathShrinksLinearly) {
+  const auto model = MachineModel::paper_x5670();
+  const auto input = make_merge_input(Dist::kUniform, 1 << 18, 1 << 18, 13);
+  const auto p1 = simulate_parallel_merge(input.a, input.b, 1, model);
+  const auto p4 = simulate_parallel_merge(input.a, input.b, 4, model);
+  const auto p8 = simulate_parallel_merge(input.a, input.b, 8, model);
+  EXPECT_NEAR(static_cast<double>(p1.critical_ops) /
+                  static_cast<double>(p4.critical_ops),
+              4.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(p1.critical_ops) /
+                  static_cast<double>(p8.critical_ops),
+              8.0, 0.1);
+}
+
+TEST(Simulate, MergeSpeedupIsNearLinearInCache) {
+  // 64k elements/array = 512 KiB total: fits the modelled LLC, so the
+  // curve is compute-bound and should be near-linear like Figure 5's 1M.
+  const auto model = MachineModel::paper_x5670();
+  const std::vector<unsigned> threads{1, 2, 4, 8, 12};
+  const auto curve = merge_speedup_curve(1 << 16, threads, model, 42);
+  ASSERT_EQ(curve.points.size(), threads.size());
+  EXPECT_NEAR(curve.points[1].speedup, 2.0, 0.2);
+  EXPECT_NEAR(curve.points[2].speedup, 4.0, 0.4);
+  EXPECT_GT(curve.points[4].speedup, 10.0);
+  EXPECT_LE(curve.points[4].speedup, 12.1);
+}
+
+TEST(Simulate, LargeArraysLoseALittleSpeedupToBandwidth) {
+  // Figure 5's "slight reduction in performance for the bigger input
+  // arrays": beyond-LLC traffic is bandwidth-bound and saturates before
+  // 12 lanes.
+  const auto model = MachineModel::paper_x5670();
+  const std::vector<unsigned> threads{12};
+  // 1M per array (8 MiB total) fits the modelled LLC; 16M (128 MiB) is
+  // firmly bandwidth-exposed — the two ends of Figure 5's size axis.
+  const auto small = merge_speedup_curve(1 << 20, threads, model, 42);
+  const auto large = merge_speedup_curve(1 << 24, threads, model, 42);
+  EXPECT_LT(large.points[0].speedup, small.points[0].speedup);
+  EXPECT_GT(large.points[0].speedup, 9.0);  // still near-linear
+}
+
+TEST(Simulate, SegmentedMergeMatchesParallelWorkApproximately) {
+  const auto model = MachineModel::paper_x5670();
+  const auto input = make_merge_input(Dist::kUniform, 1 << 15, 1 << 15, 17);
+  SegmentedConfig config;
+  config.segment_length = 2048;
+  const auto seg = simulate_segmented_merge(input.a, input.b, 4, model,
+                                            config);
+  const auto par = simulate_parallel_merge(input.a, input.b, 4, model);
+  // SPM does strictly more work (staging + write-back) ...
+  EXPECT_GT(seg.work_ops, par.work_ops);
+  // ... but bounded: roughly 2 extra touches per element.
+  EXPECT_LT(seg.work_ops, 3 * par.work_ops);
+  // And far more barriers: three per segment.
+  EXPECT_GE(seg.phases, 3 * ((1u << 16) / 2048) - 1);
+}
+
+TEST(Simulate, MergeSortOutputsSortedAndScales) {
+  const auto model = MachineModel::paper_x5670();
+  const auto values = make_unsorted_values(1 << 15, 19);
+  const auto s1 = simulate_merge_sort(values, 1, model);
+  const auto s8 = simulate_merge_sort(values, 8, model);
+  EXPECT_GT(s1.time_ns, s8.time_ns);
+  const double speedup = s1.time_ns / s8.time_ns;
+  EXPECT_GT(speedup, 4.0);
+  EXPECT_LE(speedup, 8.5);
+}
+
+TEST(Simulate, SortSpeedupCurveIsMonotone) {
+  const auto model = MachineModel::paper_x5670();
+  const std::vector<unsigned> threads{1, 2, 4, 8};
+  const auto curve = sort_speedup_curve(1 << 15, threads, model, 23);
+  for (std::size_t i = 1; i < curve.points.size(); ++i)
+    EXPECT_GT(curve.points[i].speedup, curve.points[i - 1].speedup);
+}
+
+TEST(Simulate, CacheSortAccountsMoreBarriersThanPlainSort) {
+  const auto model = MachineModel::paper_x5670();
+  const auto values = make_unsorted_values(1 << 15, 29);
+  const auto plain = simulate_merge_sort(values, 4, model);
+  const auto cache = simulate_cache_sort(values, 4, model, 16 * 1024);
+  EXPECT_GT(cache.phases, plain.phases);
+  EXPECT_GT(cache.barrier_ns, plain.barrier_ns);
+}
+
+TEST(Simulate, MergeSortDriverMatchesRealAlgorithmExactly) {
+  // The simulator re-drives parallel_merge_sort's phases from the exposed
+  // building blocks; if the two ever diverge (a refactor changing phase
+  // structure), total op counts and outputs must flag it.
+  const auto model = MachineModel::paper_x5670();
+  const auto values = make_unsorted_values(50000, 31);
+  const unsigned p = 6;
+
+  const SimResult sim = simulate_merge_sort(values, p, model);
+
+  auto real = values;
+  ThreadPool serial(0);
+  std::vector<OpCounts> counts(p);
+  parallel_merge_sort(real.data(), real.size(), Executor{&serial, p},
+                      std::less<>{}, std::span<OpCounts>(counts));
+  EXPECT_TRUE(std::is_sorted(real.begin(), real.end()));
+
+  OpCounts real_totals;
+  for (const auto& c : counts) real_totals += c;
+  EXPECT_EQ(sim.totals.compares, real_totals.compares);
+  EXPECT_EQ(sim.totals.moves, real_totals.moves);
+  EXPECT_EQ(sim.totals.search_steps, real_totals.search_steps);
+}
+
+TEST(Simulate, SegmentedDriverMatchesRealAlgorithmExactly) {
+  const auto model = MachineModel::paper_x5670();
+  const auto input = make_merge_input(Dist::kClustered, 20000, 17000, 33);
+  const unsigned p = 5;
+  SegmentedConfig config;
+  config.segment_length = 777;
+
+  const SimResult sim =
+      simulate_segmented_merge(input.a, input.b, p, model, config);
+
+  ThreadPool serial(0);
+  std::vector<OpCounts> counts(p);
+  std::vector<std::int32_t> out(37000);
+  segmented_parallel_merge(input.a.data(), 20000, input.b.data(), 17000,
+                           out.data(), config, Executor{&serial, p},
+                           std::less<>{}, std::span<OpCounts>(counts));
+  OpCounts real_totals;
+  for (const auto& c : counts) real_totals += c;
+  EXPECT_EQ(sim.totals.compares, real_totals.compares);
+  EXPECT_EQ(sim.totals.moves, real_totals.moves);
+  EXPECT_EQ(sim.totals.stages, real_totals.stages);
+}
+
+}  // namespace
+}  // namespace mp::pram

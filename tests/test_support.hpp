@@ -1,0 +1,25 @@
+#pragma once
+/// \file test_support.hpp
+/// Shared helpers for the test suite.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/data_gen.hpp"
+
+namespace mp::test {
+
+/// Reference merged output: stable std::merge of the two inputs.
+inline std::vector<std::int32_t> reference_merge(
+    const std::vector<std::int32_t>& a, const std::vector<std::int32_t>& b) {
+  std::vector<std::int32_t> out(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin());
+  return out;
+}
+
+/// Readable test-parameter name for a distribution.
+inline std::string dist_name(Dist dist) { return to_string(dist); }
+
+}  // namespace mp::test

@@ -1,0 +1,107 @@
+// Tests for the fork-join engine (ThreadPool / Executor): lane coverage,
+// work sharing, exception capture, serial-pool determinism, and reuse
+// across many small jobs (the pattern the algorithm tests hammer).
+
+#include "util/threading.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace mp {
+namespace {
+
+TEST(ThreadPool, RunsEveryLaneExactlyOnce) {
+  ThreadPool pool(3);
+  for (unsigned lanes : {1u, 2u, 4u, 16u, 100u}) {
+    std::vector<std::atomic<int>> hits(lanes);
+    pool.parallel_for_lanes(lanes, [&](unsigned lane) {
+      hits[lane].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (unsigned lane = 0; lane < lanes; ++lane)
+      EXPECT_EQ(hits[lane].load(), 1) << "lanes=" << lanes << " lane=" << lane;
+  }
+}
+
+TEST(ThreadPool, ZeroLanesIsANoop) {
+  ThreadPool pool(2);
+  pool.parallel_for_lanes(0, [](unsigned) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, SerialPoolRunsLanesInOrder) {
+  ThreadPool pool(0);
+  std::vector<unsigned> order;
+  pool.parallel_for_lanes(8, [&](unsigned lane) { order.push_back(lane); });
+  std::vector<unsigned> expected(8);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_lanes(
+                   8,
+                   [&](unsigned lane) {
+                     if (lane == 5) throw std::runtime_error("lane 5");
+                   }),
+               std::runtime_error);
+  // Pool must be reusable after a throwing job.
+  std::atomic<int> sum{0};
+  pool.parallel_for_lanes(8, [&](unsigned lane) {
+    sum.fetch_add(static_cast<int>(lane));
+  });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(ThreadPool, ManySmallJobsReuseWorkers) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int job = 0; job < 2000; ++job) {
+    pool.parallel_for_lanes(5, [&](unsigned lane) {
+      total.fetch_add(lane + 1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 2000L * 15);
+}
+
+TEST(ThreadPool, ParallelSumMatchesSerial) {
+  ThreadPool pool(7);
+  std::vector<int> data(100000);
+  std::iota(data.begin(), data.end(), 0);
+  const unsigned lanes = 8;
+  std::vector<long> partial(lanes, 0);
+  pool.parallel_for_lanes(lanes, [&](unsigned lane) {
+    const std::size_t begin = lane * data.size() / lanes;
+    const std::size_t end = (lane + 1ull) * data.size() / lanes;
+    long s = 0;
+    for (std::size_t i = begin; i < end; ++i) s += data[i];
+    partial[lane] = s;
+  });
+  const long total = std::accumulate(partial.begin(), partial.end(), 0L);
+  EXPECT_EQ(total, 100000L * 99999 / 2);
+}
+
+TEST(Executor, DefaultsResolveToSharedPool) {
+  Executor exec{};
+  EXPECT_GE(exec.resolve_threads(), 1u);
+  EXPECT_EQ(&exec.resolve_pool(), &ThreadPool::shared());
+}
+
+TEST(Executor, ExplicitThreadCountWins) {
+  ThreadPool pool(2);
+  Executor exec{&pool, 9};
+  EXPECT_EQ(exec.resolve_threads(), 9u);
+  EXPECT_EQ(&exec.resolve_pool(), &pool);
+}
+
+TEST(Executor, ZeroThreadsMeansPoolWidth) {
+  ThreadPool pool(3);
+  Executor exec{&pool, 0};
+  EXPECT_EQ(exec.resolve_threads(), 4u);  // workers + caller
+}
+
+}  // namespace
+}  // namespace mp

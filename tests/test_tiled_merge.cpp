@@ -1,0 +1,131 @@
+// Tests for core/tiled_merge.hpp: the hinted (galloping) diagonal search
+// against the plain one on every diagonal/hint combination, and the
+// dynamically scheduled tiled merge against the reference.
+
+#include "core/tiled_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "test_support.hpp"
+#include "util/data_gen.hpp"
+#include "util/rng.hpp"
+
+namespace mp {
+namespace {
+
+TEST(HintedDiagonalSearch, AgreesWithPlainSearchForAllHints) {
+  for (Dist dist : kAllDists) {
+    const auto input = make_merge_input(dist, 60, 45, 801);
+    const std::size_t m = input.a.size(), n = input.b.size();
+    for (std::size_t diag = 0; diag <= m + n; ++diag) {
+      const std::size_t expected =
+          diagonal_intersection(input.a.data(), m, input.b.data(), n, diag);
+      for (std::size_t hint = 0; hint <= m; hint += 3) {
+        EXPECT_EQ(diagonal_intersection_hinted(input.a.data(), m,
+                                               input.b.data(), n, diag, hint),
+                  expected)
+            << to_string(dist) << " diag=" << diag << " hint=" << hint;
+      }
+      // Exact hint and off-by-one hints (the common case in tiled runs).
+      for (std::ptrdiff_t delta : {-1, 0, 1}) {
+        const std::ptrdiff_t h = static_cast<std::ptrdiff_t>(expected) + delta;
+        if (h < 0) continue;
+        EXPECT_EQ(diagonal_intersection_hinted(
+                      input.a.data(), m, input.b.data(), n, diag,
+                      static_cast<std::size_t>(h)),
+                  expected);
+      }
+    }
+  }
+}
+
+TEST(HintedDiagonalSearch, GoodHintsCostFewerProbes) {
+  const auto input = make_merge_input(Dist::kUniform, 1 << 20, 1 << 20, 803);
+  const std::size_t m = input.a.size(), n = input.b.size();
+  const std::size_t diag = m;  // middle diagonal
+  const std::size_t exact =
+      diagonal_intersection(input.a.data(), m, input.b.data(), n, diag);
+
+  OpCounts cold, warm;
+  diagonal_intersection(input.a.data(), m, input.b.data(), n, diag,
+                        std::less<>{}, &cold);
+  diagonal_intersection_hinted(input.a.data(), m, input.b.data(), n, diag,
+                               exact > 8 ? exact - 8 : 0, std::less<>{},
+                               &warm);
+  EXPECT_GT(cold.search_steps, 15u);   // ~log2(1M)
+  EXPECT_LT(warm.search_steps, 12u);   // ~log2(8) + bracket probes
+}
+
+class TiledMergeParam
+    : public ::testing::TestWithParam<std::tuple<Dist, std::size_t, unsigned>> {
+};
+
+TEST_P(TiledMergeParam, MatchesReference) {
+  const auto [dist, tile, threads] = GetParam();
+  const auto input = make_merge_input(dist, 1500, 1200, 807);
+  std::vector<std::int32_t> out(2700);
+  tiled_parallel_merge(input.a.data(), 1500, input.b.data(), 1200,
+                       out.data(), tile, Executor{nullptr, threads});
+  EXPECT_EQ(out, test::reference_merge(input.a, input.b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DistsTilesThreads, TiledMergeParam,
+    ::testing::Combine(::testing::ValuesIn(kAllDists),
+                       ::testing::Values(std::size_t{1}, std::size_t{64},
+                                         std::size_t{997},
+                                         std::size_t{10000}),
+                       ::testing::Values(1u, 4u, 8u)),
+    [](const auto& pinfo) {
+      return to_string(std::get<0>(pinfo.param)) + "_t" +
+             std::to_string(std::get<1>(pinfo.param)) + "_p" +
+             std::to_string(std::get<2>(pinfo.param));
+    });
+
+TEST(TiledMerge, StableOnHeavyDuplicates) {
+  const auto input = make_keyed_input(2000, 2000, 6, 809);
+  std::vector<KeyedRecord> out(4000);
+  tiled_parallel_merge(input.a.data(), 2000, input.b.data(), 2000,
+                       out.data(), 64, Executor{nullptr, 8});
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    ASSERT_LE(out[i - 1].key, out[i].key);
+    if (out[i - 1].key == out[i].key)
+      ASSERT_LT(out[i - 1].payload, out[i].payload) << "at " << i;
+  }
+}
+
+TEST(TiledMerge, SkewedComparatorCostStillCorrect) {
+  // Comparator with artificial cost skew (expensive on one value range):
+  // dynamic tiles exist for exactly this; verify correctness is unaffected.
+  const auto input = make_merge_input(Dist::kUniform, 20000, 20000, 811);
+  std::vector<std::int32_t> out(40000);
+  std::atomic<std::uint64_t> spin_sink{0};
+  auto skewed = [&](std::int32_t x, std::int32_t y) {
+    if ((x & 0xff) == 0) {
+      std::uint64_t s = 0;
+      for (int k = 0; k < 50; ++k) s += static_cast<std::uint64_t>(k) * x;
+      spin_sink.fetch_add(s, std::memory_order_relaxed);
+    }
+    return x < y;
+  };
+  tiled_parallel_merge(input.a.data(), 20000, input.b.data(), 20000,
+                       out.data(), 512, Executor{nullptr, 4}, skewed);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.size(), 40000u);
+}
+
+TEST(TiledMerge, EmptyAndTinyInputs) {
+  std::vector<std::int32_t> empty, out;
+  tiled_parallel_merge(empty.data(), 0, empty.data(), 0, out.data(), 16);
+  const std::vector<std::int32_t> a{1};
+  out.resize(1);
+  tiled_parallel_merge(a.data(), 1, empty.data(), 0, out.data(), 16,
+                       Executor{nullptr, 8});
+  EXPECT_EQ(out[0], 1);
+}
+
+}  // namespace
+}  // namespace mp
