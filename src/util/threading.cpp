@@ -21,10 +21,15 @@ struct ThreadPool::Impl {
   std::uint64_t job_id = 0;
   std::atomic<unsigned> next_lane{0};
   unsigned lanes_remaining = 0;
+  unsigned workers_in_job = 0;
   std::exception_ptr first_error;
   bool shutting_down = false;
   bool job_active = false;
   std::vector<std::thread> threads;
+
+  bool job_quiescent() const {
+    return lanes_remaining == 0 && workers_in_job == 0;
+  }
 
   void worker_main() {
     std::uint64_t last_seen_job = 0;
@@ -40,8 +45,20 @@ struct ThreadPool::Impl {
         last_seen_job = job_id;
         my_task = task;
         my_lanes = job_lanes;
+        // Check in: parallel_for_lanes must not return (and the next job
+        // must not recycle `task`/`next_lane`) while this worker can still
+        // claim lanes. Without this a worker that picked up job N but lost
+        // the race for its lanes could survive into job N+1, grab a fresh
+        // lane index from the reset counter and run job N's *destroyed*
+        // task — a use-after-scope the old lanes-only wait left open.
+        ++workers_in_job;
       }
       run_lanes(*my_task, my_lanes);
+      {
+        std::lock_guard lock(mutex);
+        --workers_in_job;
+        if (job_quiescent()) job_done.notify_all();
+      }
     }
   }
 
@@ -64,7 +81,7 @@ struct ThreadPool::Impl {
       std::lock_guard lock(mutex);
       if (error && !first_error) first_error = error;
       lanes_remaining -= completed;
-      if (lanes_remaining == 0) job_done.notify_all();
+      if (job_quiescent()) job_done.notify_all();
     }
   }
 };
@@ -125,7 +142,10 @@ void ThreadPool::parallel_for_lanes(
   std::exception_ptr error;
   {
     std::unique_lock lock(impl_->mutex);
-    impl_->job_done.wait(lock, [&] { return impl_->lanes_remaining == 0; });
+    // Wait for every lane to finish *and* every checked-in worker to leave
+    // run_lanes: only then is it safe to invalidate `task` and let the next
+    // job reset `next_lane`.
+    impl_->job_done.wait(lock, [&] { return impl_->job_quiescent(); });
     impl_->job_active = false;
     error = impl_->first_error;
   }

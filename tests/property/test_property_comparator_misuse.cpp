@@ -1,0 +1,140 @@
+// Inconsistent-comparator torture. A comparator that violates strict weak
+// ordering voids the *ordering* guarantees, but not the *memory-safety*
+// ones: Algorithm 1 derives every lane's output slice from the diagonal
+// arithmetic (lane * (m+n) / p), which is comparator-independent, and
+// merge_steps bounds every read by (m, n). So for ANY sequence of
+// comparator verdicts the merge must terminate, write every output
+// position exactly once, and read/write strictly in bounds (the sanitizer
+// presets check the last part mechanically — this binary is the designated
+// ASan/UBSan payload for the lying-comparator attack surface).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/mergepath.hpp"
+#include "../test_support.hpp"
+#include "util/data_gen.hpp"
+#include "util/rng.hpp"
+
+namespace mp {
+namespace {
+
+// Deterministic pseudo-random verdict per (x, y, salt): typically violates
+// antisymmetry, transitivity and irreflexivity all at once.
+struct LyingComparator {
+  std::uint64_t salt;
+  bool operator()(std::int32_t x, std::int32_t y) const {
+    std::uint64_t h = salt ^ (static_cast<std::uint64_t>(
+                                  static_cast<std::uint32_t>(x))
+                              << 32) ^
+                      static_cast<std::uint32_t>(y);
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 33;
+    return (h & 1) != 0;
+  }
+};
+
+constexpr std::int32_t kSentinel = -1;
+
+// All inputs are drawn non-negative so the sentinel cannot collide.
+std::vector<std::int32_t> nonneg(std::vector<std::int32_t> v) {
+  for (auto& x : v) x &= 0x7fffffff;
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void expect_written_from_inputs(const std::vector<std::int32_t>& out,
+                                std::vector<std::int32_t> universe) {
+  std::sort(universe.begin(), universe.end());
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    ASSERT_NE(out[k], kSentinel) << "output position " << k << " not written";
+    ASSERT_TRUE(std::binary_search(universe.begin(), universe.end(), out[k]))
+        << "output position " << k << " holds value " << out[k]
+        << " absent from the inputs";
+  }
+}
+
+TEST(ComparatorMisuse, LyingComparatorCannotEscapeTheOutputSlice) {
+  Xoshiro256 rng(0x11a45ULL);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t m = rng.bounded(5000);
+    const std::size_t n = rng.bounded(5000);
+    const unsigned threads = static_cast<unsigned>(1 + rng.bounded(16));
+    const std::uint64_t salt = rng();
+    SCOPED_TRACE(::testing::Message() << "m=" << m << " n=" << n
+                                      << " p=" << threads << " salt=" << salt);
+    const auto a = nonneg(make_uniform_values(m, rng()));
+    const auto b = nonneg(make_uniform_values(n, rng()));
+    std::vector<std::int32_t> universe = a;
+    universe.insert(universe.end(), b.begin(), b.end());
+    const Executor exec{nullptr, threads};
+    const LyingComparator comp{salt};
+
+    std::vector<std::int32_t> out(m + n, kSentinel);
+    parallel_merge(a.data(), m, b.data(), n, out.data(), exec, comp);
+    expect_written_from_inputs(out, universe);
+
+    std::fill(out.begin(), out.end(), kSentinel);
+    tiled_parallel_merge(a.data(), m, b.data(), n, out.data(),
+                         std::size_t{1 + rng.bounded(512)}, exec, comp);
+    expect_written_from_inputs(out, universe);
+  }
+}
+
+TEST(ComparatorMisuse, LyingComparatorSortTerminatesInBounds) {
+  Xoshiro256 rng(0x11a46ULL);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t n = rng.bounded(20000);
+    const unsigned threads = static_cast<unsigned>(1 + rng.bounded(12));
+    const std::uint64_t salt = rng();
+    SCOPED_TRACE(::testing::Message() << "n=" << n << " p=" << threads
+                                      << " salt=" << salt);
+    auto data = make_unsorted_values(n, rng());
+    for (auto& x : data) x &= 0x7fffffff;
+    auto universe = data;
+    // A structurally-bounded merge sort must terminate and permute... at
+    // minimum, keep every value it emits drawn from the input multiset and
+    // stay in bounds. (std::sort with this comparator is outright UB; the
+    // guarantee tested here is deliberately stronger than the STL's.)
+    parallel_merge_sort(data.data(), n, Executor{nullptr, threads},
+                        LyingComparator{salt});
+    std::sort(universe.begin(), universe.end());
+    for (std::size_t k = 0; k < data.size(); ++k)
+      ASSERT_TRUE(
+          std::binary_search(universe.begin(), universe.end(), data[k]))
+          << "position " << k;
+  }
+}
+
+// The diagonal search must stay within its clamped window even when the
+// comparator's verdicts are maximally biased (always-true / always-false
+// are the extreme points of the lying-comparator family).
+TEST(ComparatorMisuse, ConstantComparatorsKeepSearchWindowsClamped) {
+  Xoshiro256 rng(0x11a47ULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t m = rng.bounded(64);
+    const std::size_t n = rng.bounded(64);
+    const auto a = nonneg(make_uniform_values(m, rng()));
+    const auto b = nonneg(make_uniform_values(n, rng()));
+    for (std::size_t diag = 0; diag <= m + n; ++diag) {
+      const std::size_t lo = diag > n ? diag - n : 0;
+      const std::size_t hi = diag < m ? diag : m;
+      const std::size_t always = diagonal_intersection(
+          a.data(), m, b.data(), n, diag,
+          [](std::int32_t, std::int32_t) { return true; });
+      const std::size_t never = diagonal_intersection(
+          a.data(), m, b.data(), n, diag,
+          [](std::int32_t, std::int32_t) { return false; });
+      ASSERT_GE(always, lo);
+      ASSERT_LE(always, hi);
+      ASSERT_GE(never, lo);
+      ASSERT_LE(never, hi);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mp

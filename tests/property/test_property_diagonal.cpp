@@ -1,0 +1,173 @@
+// Diagonal-search boundary properties, checked against the materialised
+// Merge Matrix (merge_matrix.hpp — the paper's reference model).
+//
+// For every cross diagonal of randomized small inputs:
+//   * Corollary 12 — the matrix entries along the diagonal, read from the
+//     bottom-left end, are monotonically non-increasing (all 1s then 0s);
+//   * Proposition 13 — the binary search lands exactly on the 1 -> 0
+//     transition, i.e. on the simulated path's d'th point (Lemma 8);
+//   * the split point returned for every lane of every lane count is that
+//     same path point, its output slice comes from pure diagonal
+//     arithmetic, and adjacent slices tile the output exactly.
+// These are the invariants every future optimisation of the search (SIMD,
+// galloping, mixed precision) must preserve.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/merge_matrix.hpp"
+#include "core/mergepath.hpp"
+#include "../test_support.hpp"
+#include "util/data_gen.hpp"
+#include "util/rng.hpp"
+
+namespace mp {
+namespace {
+
+class DiagonalProperties : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(DiagonalProperties, SearchMatchesMergeMatrixGroundTruth) {
+  const Dist dist = GetParam();
+  Xoshiro256 rng(0xd1a6ULL);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t m = rng.bounded(20);
+    const std::size_t n = rng.bounded(20);
+    const std::uint64_t seed = rng();
+    SCOPED_TRACE(::testing::Message() << to_string(dist) << " m=" << m
+                                      << " n=" << n << " seed=" << seed);
+    const auto input = make_merge_input(dist, m, n, seed);
+    const MergeMatrix<std::int32_t> matrix(input.a, input.b);
+    const auto path = matrix.build_path();
+    ASSERT_EQ(path.size(), m + n + 1);
+
+    // Corollary 12: every matrix cross diagonal is all-1s-then-all-0s when
+    // read from the bottom-left end.
+    if (m > 0 && n > 0) {
+      for (std::size_t d = 0; d + 1 < m + n; ++d) {
+        const auto entries = matrix.diagonal_entries(d);
+        for (std::size_t k = 1; k < entries.size(); ++k)
+          ASSERT_LE(entries[k], entries[k - 1])
+              << "diagonal " << d << " not non-increasing at entry " << k;
+      }
+    }
+
+    // Proposition 13 / Theorem 14: the O(log) search finds the simulated
+    // path's point on every grid diagonal, and that point sits on the
+    // 1 -> 0 transition of the matrix.
+    for (std::size_t d = 0; d <= m + n; ++d) {
+      const PathPoint pt = path_point_on_diagonal(
+          input.a.data(), m, input.b.data(), n, d);
+      ASSERT_EQ(pt.diagonal(), d);
+      ASSERT_EQ(pt, path[d]) << "diagonal " << d;
+      // Transition structure in matrix terms: the cell left of the point
+      // (if any) is a 1 (B[j-1] < A[i]) and the cell above it (if any) is
+      // a 0 (A[i-1] <= B[j]).
+      if (pt.j > 0 && pt.i < m) {
+        ASSERT_TRUE(matrix.at(pt.i, pt.j - 1)) << "diagonal " << d;
+      }
+      if (pt.i > 0 && pt.j < n) {
+        ASSERT_FALSE(matrix.at(pt.i - 1, pt.j)) << "diagonal " << d;
+      }
+    }
+  }
+}
+
+TEST_P(DiagonalProperties, LaneSlicesTileTheOutputAtPathPoints) {
+  const Dist dist = GetParam();
+  Xoshiro256 rng(0x51edULL);
+  for (int iter = 0; iter < 25; ++iter) {
+    const std::size_t m = rng.bounded(24);
+    const std::size_t n = rng.bounded(24);
+    const std::uint64_t seed = rng();
+    const std::size_t total = m + n;
+    SCOPED_TRACE(::testing::Message() << to_string(dist) << " m=" << m
+                                      << " n=" << n << " seed=" << seed);
+    const auto input = make_merge_input(dist, m, n, seed);
+    const MergeMatrix<std::int32_t> matrix(input.a, input.b);
+    const auto path = matrix.build_path();
+
+    for (unsigned lanes = 1; lanes <= 12; ++lanes) {
+      std::size_t covered = 0;
+      for (unsigned lane = 0; lane < lanes; ++lane) {
+        const MergeSlice slice = merge_slice_for_lane(
+            input.a.data(), m, input.b.data(), n, lane, lanes);
+        const std::size_t diag_lo = lane * total / lanes;
+        const std::size_t diag_hi = (lane + 1ull) * total / lanes;
+        ASSERT_EQ(slice.out_begin, diag_lo) << "lane " << lane << "/" << lanes;
+        ASSERT_EQ(slice.steps, diag_hi - diag_lo)
+            << "lane " << lane << "/" << lanes;
+        ASSERT_EQ(slice.out_begin, covered)
+            << "slices must tile [0, m+n) with no gap or overlap";
+        covered += slice.steps;
+        // The lane's start is the true path point of its diagonal.
+        ASSERT_EQ((PathPoint{slice.a_begin, slice.b_begin}), path[diag_lo])
+            << "lane " << lane << "/" << lanes;
+      }
+      ASSERT_EQ(covered, total) << "lanes=" << lanes;
+
+      // partition_merge_path agrees and passes the official validator;
+      // a corrupted copy must be rejected.
+      const auto points = partition_merge_path(input.a.data(), m,
+                                               input.b.data(), n, lanes);
+      ASSERT_TRUE(validate_partition(input.a.data(), m, input.b.data(), n,
+                                     points));
+      for (std::size_t k = 0; k < points.size(); ++k)
+        ASSERT_EQ(points[k], path[k * total / lanes]) << "point " << k;
+      if (lanes >= 2) {
+        // Shifting a real path point one cell along its own diagonal is
+        // guaranteed off-path (the stability-aware conditions admit exactly
+        // one point per diagonal), so the validator must reject it.
+        const std::size_t k = lanes / 2;  // interior: 1 <= k < lanes
+        const PathPoint pt = points[k];
+        auto corrupted = points;
+        if (pt.i < m && pt.j > 0)
+          corrupted[k] = PathPoint{pt.i + 1, pt.j - 1};
+        else if (pt.i > 0 && pt.j < n)
+          corrupted[k] = PathPoint{pt.i - 1, pt.j + 1};
+        if (corrupted[k] != pt) {
+          ASSERT_FALSE(validate_partition(input.a.data(), m, input.b.data(),
+                                          n, corrupted))
+              << "lanes=" << lanes << " corrupted point " << k;
+        }
+      }
+    }
+  }
+}
+
+// The same ground-truth agreement under a custom ordering: descending
+// inputs with std::greater. Guards against accidental std::less
+// assumptions creeping into the search.
+TEST_P(DiagonalProperties, SearchMatchesGroundTruthUnderGreater) {
+  const Dist dist = GetParam();
+  Xoshiro256 rng(0x6e47ULL);
+  for (int iter = 0; iter < 10; ++iter) {
+    const std::size_t m = rng.bounded(16);
+    const std::size_t n = rng.bounded(16);
+    auto input = make_merge_input(dist, m, n, rng());
+    std::reverse(input.a.begin(), input.a.end());
+    std::reverse(input.b.begin(), input.b.end());
+    SCOPED_TRACE(::testing::Message() << to_string(dist) << " m=" << m
+                                      << " n=" << n << " seed=" << input.seed);
+    const MergeMatrix<std::int32_t, std::greater<>> matrix(
+        input.a, input.b, std::greater<>{});
+    const auto path = matrix.build_path();
+    for (std::size_t d = 0; d <= m + n; ++d)
+      ASSERT_EQ(path_point_on_diagonal(input.a.data(), m, input.b.data(), n,
+                                       d, std::greater<>{}),
+                path[d])
+          << "diagonal " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dists, DiagonalProperties, ::testing::ValuesIn(kAllDists),
+    [](const ::testing::TestParamInfo<Dist>& param_info) {
+      return test::dist_name(param_info.param);
+    });
+
+}  // namespace
+}  // namespace mp

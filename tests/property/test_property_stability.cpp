@@ -1,0 +1,192 @@
+// True-stability property tests.
+//
+// The int32 fuzz suite proves value-level agreement with std::merge, but
+// equal int32 keys are indistinguishable, so an implementation that
+// reorders ties would still pass. Here every element carries a payload
+// encoding (origin array, original index); comparison sees only the key,
+// and the assertions compare payloads exactly against the stable reference
+// (std::merge / std::stable_sort). Duplicate-heavy Dist shapes (kAllEqual,
+// kFewDuplicates) are the interesting rows: they maximise the number of
+// ties crossing lane boundaries.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/mergepath.hpp"
+#include "../test_support.hpp"
+#include "util/data_gen.hpp"
+#include "util/rng.hpp"
+
+namespace mp {
+namespace {
+
+// Wraps sorted int32 keys as KeyedRecords whose payload encodes
+// (origin << 28) | index — the same scheme as make_keyed_input, applied to
+// the adversarial Dist generators.
+std::vector<KeyedRecord> tag(const std::vector<std::int32_t>& keys,
+                             std::uint32_t origin) {
+  std::vector<KeyedRecord> out(keys.size());
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    out[i] = KeyedRecord{keys[i],
+                         (origin << 28) | static_cast<std::uint32_t>(i)};
+  return out;
+}
+
+std::vector<KeyedRecord> stable_reference(
+    const std::vector<KeyedRecord>& a, const std::vector<KeyedRecord>& b) {
+  std::vector<KeyedRecord> out(a.size() + b.size());
+  std::merge(a.begin(), a.end(), b.begin(), b.end(), out.begin());
+  return out;
+}
+
+struct Shape {
+  std::size_t m, n;
+};
+constexpr Shape kShapes[] = {
+    {0, 0}, {1, 0}, {0, 1}, {1, 1}, {7, 5}, {128, 128}, {1000, 333},
+    {2048, 2048},
+};
+constexpr unsigned kThreadCounts[] = {1, 2, 3, 8, 16};
+
+class StabilityByDist : public ::testing::TestWithParam<Dist> {};
+
+TEST_P(StabilityByDist, TwoWayMergesPreservePayloadOrder) {
+  const Dist dist = GetParam();
+  std::uint64_t seed = 0x57ab1e00;
+  for (const Shape& shape : kShapes) {
+    const auto input = make_merge_input(dist, shape.m, shape.n, seed++);
+    const auto a = tag(input.a, 0);
+    const auto b = tag(input.b, 1);
+    const auto expected = stable_reference(a, b);
+    for (const unsigned threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << to_string(dist) << " m=" << shape.m << " n=" << shape.n
+                   << " p=" << threads << " seed=" << input.seed);
+      const Executor exec{nullptr, threads};
+      std::vector<KeyedRecord> out(a.size() + b.size());
+
+      parallel_merge(a.data(), a.size(), b.data(), b.size(), out.data(),
+                     exec);
+      ASSERT_EQ(out, expected) << "parallel_merge payload order";
+      ASSERT_TRUE(is_stable_merge_of(a.data(), a.size(), b.data(), b.size(),
+                                     out.data()));
+
+      std::fill(out.begin(), out.end(), KeyedRecord{-1, 0});
+      SegmentedConfig seg;
+      seg.segment_length = 64;
+      segmented_parallel_merge(a.data(), a.size(), b.data(), b.size(),
+                               out.data(), seg, exec);
+      ASSERT_EQ(out, expected) << "segmented_parallel_merge payload order";
+
+      std::fill(out.begin(), out.end(), KeyedRecord{-1, 0});
+      tiled_parallel_merge(a.data(), a.size(), b.data(), b.size(), out.data(),
+                           std::size_t{96}, exec);
+      ASSERT_EQ(out, expected) << "tiled_parallel_merge payload order";
+
+      ASSERT_EQ(parallel_multiway_merge(
+                    std::vector<std::vector<KeyedRecord>>{a, b}, exec),
+                expected)
+          << "multiway k=2 payload order";
+    }
+  }
+}
+
+TEST_P(StabilityByDist, MultiwayTiesFavourLowerRunIndex) {
+  const Dist dist = GetParam();
+  Xoshiro256 rng(0x4b57ab1eULL);
+  for (int iter = 0; iter < 6; ++iter) {
+    const std::size_t k = 2 + rng.bounded(6);
+    std::vector<std::vector<KeyedRecord>> runs(k);
+    for (std::size_t r = 0; r < k; ++r) {
+      const auto input =
+          make_merge_input(dist, rng.bounded(500), 0, rng());
+      runs[r] = tag(input.a, static_cast<std::uint32_t>(r));
+    }
+    // Left-to-right stable folding is the reference: a tie between runs
+    // r < s resolves to r in every prefix merge, so the fold preserves
+    // lowest-run-first priority.
+    std::vector<KeyedRecord> expected;
+    for (const auto& run : runs) {
+      std::vector<KeyedRecord> next(expected.size() + run.size());
+      std::merge(expected.begin(), expected.end(), run.begin(), run.end(),
+                 next.begin());
+      expected = std::move(next);
+    }
+    for (const unsigned threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message() << to_string(dist) << " k=" << k
+                                        << " p=" << threads << " iter="
+                                        << iter);
+      ASSERT_EQ(parallel_multiway_merge(runs, Executor{nullptr, threads}),
+                expected);
+    }
+  }
+}
+
+TEST_P(StabilityByDist, MergeByKeyCarriesValuesStably) {
+  const Dist dist = GetParam();
+  std::uint64_t seed = 0xb7a10e00;
+  for (const Shape& shape : kShapes) {
+    const auto input = make_merge_input(dist, shape.m, shape.n, seed++);
+    const auto a = tag(input.a, 0);
+    const auto b = tag(input.b, 1);
+    const auto expected = stable_reference(a, b);
+    std::vector<std::uint32_t> va(shape.m), vb(shape.n);
+    for (std::size_t i = 0; i < shape.m; ++i) va[i] = a[i].payload;
+    for (std::size_t j = 0; j < shape.n; ++j) vb[j] = b[j].payload;
+    for (const unsigned threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << to_string(dist) << " m=" << shape.m << " n=" << shape.n
+                   << " p=" << threads << " seed=" << input.seed);
+      const auto [keys, values] = parallel_merge_by_key(
+          input.a, va, input.b, vb, Executor{nullptr, threads});
+      ASSERT_EQ(keys.size(), expected.size());
+      ASSERT_EQ(values.size(), expected.size());
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_EQ(keys[i], expected[i].key) << "index " << i;
+        ASSERT_EQ(values[i], expected[i].payload) << "index " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dists, StabilityByDist, ::testing::ValuesIn(kAllDists),
+    [](const ::testing::TestParamInfo<Dist>& param_info) {
+      return test::dist_name(param_info.param);
+    });
+
+// Sorts: payloads are pre-sort positions; a stable sort must match
+// std::stable_sort exactly, payloads included.
+TEST(StabilitySorts, ParallelSortsMatchStableSort) {
+  Xoshiro256 rng(0x5047ab1eULL);
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::size_t n = iter < 2 ? iter : (std::size_t{1} << (5 + iter));
+    const unsigned threads = static_cast<unsigned>(1 + rng.bounded(12));
+    // Tiny key universe => massive duplication => ties everywhere.
+    const std::int32_t universe = 1 + static_cast<std::int32_t>(rng.bounded(8));
+    std::vector<KeyedRecord> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = KeyedRecord{
+          static_cast<std::int32_t>(
+              rng.bounded(static_cast<std::uint64_t>(universe))),
+          static_cast<std::uint32_t>(i)};
+    SCOPED_TRACE(::testing::Message() << "n=" << n << " p=" << threads
+                                      << " universe=" << universe);
+    auto expected = data;
+    std::stable_sort(expected.begin(), expected.end());
+
+    auto d1 = data;
+    parallel_merge_sort(d1.data(), n, Executor{nullptr, threads});
+    ASSERT_EQ(d1, expected) << "parallel_merge_sort payload order";
+
+    auto d2 = data;
+    multiway_merge_sort(d2.data(), n, Executor{nullptr, threads});
+    ASSERT_EQ(d2, expected) << "multiway_merge_sort payload order";
+  }
+}
+
+}  // namespace
+}  // namespace mp

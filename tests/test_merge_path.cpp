@@ -87,7 +87,8 @@ class DiagonalVsMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {
 
 TEST_P(DiagonalVsMatrix, MatchesReferencePathOnAllDiagonals) {
   const auto [m, n] = GetParam();
-  Xoshiro256 rng(static_cast<std::uint64_t>(m * 1315423911 + n));
+  Xoshiro256 rng(static_cast<std::uint64_t>(m) * 1315423911u +
+                 static_cast<std::uint64_t>(n));
   for (int trial = 0; trial < 20; ++trial) {
     std::vector<std::int32_t> a(static_cast<std::size_t>(m));
     std::vector<std::int32_t> b(static_cast<std::size_t>(n));
