@@ -9,6 +9,8 @@
 ///                  scaled-down sweep that keeps the whole bench directory
 ///                  runnable in seconds
 ///   --seed N       workload seed (default 42)
+///   --trace F      write a Chrome/Perfetto trace of the whole run to F
+///   --lane-metrics F  write the per-lane metrics report (JSON) to F
 /// Every harness exits non-zero on unknown flags so sweep typos surface.
 
 #include <cstdio>
@@ -16,6 +18,8 @@
 #include <iostream>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "util/hw.hpp"
 #include "util/table.hpp"
@@ -29,6 +33,8 @@ struct Harness {
   bool csv = false;
   bool full = false;
   std::uint64_t seed = 42;
+  std::string trace_path;
+  std::string lane_metrics_path;
 
   Harness(int argc, const char* const* argv, const char* experiment_id,
           const char* title)
@@ -40,9 +46,28 @@ struct Harness {
     csv = cli.get_bool("csv");
     full = cli.get_bool("full");
     seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    trace_path = cli.get("trace", "");
+    lane_metrics_path = cli.get("lane-metrics", "");
+    if (!trace_path.empty()) obs::arm_tracing();
+    if (!lane_metrics_path.empty()) obs::LaneMetrics::instance().arm();
     if (!csv) {
       std::cout << "== " << experiment_id << ": " << title << " ==\n"
                 << "host: " << describe(host_info()) << "\n";
+    }
+  }
+
+  /// Writes the requested observability artifacts once the harness (and
+  /// hence every instrumented region) has finished.
+  ~Harness() {
+    if (!trace_path.empty()) {
+      obs::disarm_tracing();
+      if (obs::write_chrome_trace_file(trace_path))
+        std::cerr << "trace written to " << trace_path << "\n";
+    }
+    if (!lane_metrics_path.empty()) {
+      obs::LaneMetrics::instance().disarm();
+      if (obs::write_metrics_json_file(lane_metrics_path))
+        std::cerr << "lane metrics written to " << lane_metrics_path << "\n";
     }
   }
 

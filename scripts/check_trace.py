@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Validates the observability artifacts the library emits.
+
+Usage:
+    check_trace.py TRACE.json [--metrics METRICS.json ...] [--min-events N]
+
+TRACE.json is a Chrome/Perfetto trace_event file written by
+`mpsort --trace` or a bench harness's `--trace` flag; each --metrics
+argument is a metrics report written by `--metrics-json` /
+`--lane-metrics`. Checks (schema reference: docs/OBSERVABILITY.md):
+
+  trace:   parses as JSON; has traceEvents; every event carries the
+           required keys for its phase; timestamps are non-negative and
+           sorted; per-thread "X" spans nest properly (no partial overlap,
+           which would indicate a corrupted snapshot).
+  metrics: schema tag mergepath-lane-metrics-v1; every lane row carries
+           the op-count channels; the lane_time summary is present and
+           self-consistent (max >= min, imbalance >= 1 when any lane
+           recorded time).
+
+Exit status 0 on success, 1 with a diagnostic on the first failure.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_trace(path: str, min_events: int) -> None:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    if "traceEvents" not in doc:
+        fail(f"{path}: missing traceEvents")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not a list")
+
+    required = {
+        "X": {"name", "ph", "ts", "dur", "pid", "tid"},
+        "C": {"name", "ph", "ts", "pid", "args"},
+        "i": {"name", "ph", "ts", "pid", "tid"},
+        "M": {"name", "ph", "pid"},
+    }
+    payload = [e for e in events if e.get("ph") != "M"]
+    if len(payload) < min_events:
+        fail(f"{path}: {len(payload)} non-metadata events, "
+             f"expected at least {min_events}")
+
+    last_ts = {}
+    spans_by_tid = {}
+    for k, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in required:
+            fail(f"{path}: event {k} has unknown phase {ph!r}")
+        missing = required[ph] - set(e)
+        if missing:
+            fail(f"{path}: event {k} ({ph}) missing keys {sorted(missing)}")
+        if ph == "M":
+            continue
+        ts = e["ts"]
+        if ts < 0:
+            fail(f"{path}: event {k} has negative ts {ts}")
+        tid = e.get("tid", 0)
+        if ts < last_ts.get(tid, 0):
+            fail(f"{path}: event {k} breaks per-thread ts order "
+                 f"({ts} after {last_ts[tid]} on tid {tid})")
+        last_ts[tid] = ts
+        if ph == "X":
+            if e["dur"] < 0:
+                fail(f"{path}: span {k} has negative dur")
+            spans_by_tid.setdefault(tid, []).append((ts, ts + e["dur"],
+                                                     e["name"]))
+
+    # Spans on one thread must nest: a span starting inside another must
+    # also end inside it. The exporter sorts ties parent-first, so a simple
+    # stack sweep suffices.
+    for tid, spans in spans_by_tid.items():
+        stack = []
+        for begin, end, name in spans:
+            while stack and begin >= stack[-1][1]:
+                stack.pop()
+            if stack and end > stack[-1][1] + 1e-9:
+                fail(f"{path}: span {name!r} [{begin}, {end}) on tid {tid} "
+                     f"partially overlaps {stack[-1][2]!r} "
+                     f"[{stack[-1][0]}, {stack[-1][1]})")
+            stack.append((begin, end, name))
+
+    names = sorted({e["name"] for e in payload})
+    print(f"check_trace: {path}: OK "
+          f"({len(payload)} events, {len(spans_by_tid)} thread(s), "
+          f"names: {', '.join(names[:12])}{'...' if len(names) > 12 else ''})")
+
+
+def check_metrics(path: str) -> None:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    report = doc.get("lane_report", doc)
+    if report.get("schema") != "mergepath-lane-metrics-v1":
+        fail(f"{path}: bad or missing schema tag: {report.get('schema')!r}")
+    for key in ("jobs", "barrier", "lanes", "lane_time"):
+        if key not in report:
+            fail(f"{path}: lane_report missing {key!r}")
+    for key in ("waits", "wait_ns", "checkouts", "checkout_ns"):
+        if key not in report["barrier"]:
+            fail(f"{path}: barrier section missing {key!r}")
+    if not report["lanes"]:
+        fail(f"{path}: no lanes recorded anything")
+    for row in report["lanes"]:
+        for key in ("lane", "runs", "lane_ns", "compares", "moves",
+                    "search_steps", "stages"):
+            if key not in row:
+                fail(f"{path}: lane row missing {key!r}: {row}")
+    summary = report["lane_time"]
+    for key in ("max_ns", "min_ns", "mean_ns", "imbalance"):
+        if key not in summary:
+            fail(f"{path}: lane_time missing {key!r}")
+    if summary["max_ns"] < summary["min_ns"]:
+        fail(f"{path}: lane_time max < min")
+    timed = any(row["lane_ns"] > 0 for row in report["lanes"])
+    if timed and summary["imbalance"] < 1.0:
+        fail(f"{path}: imbalance {summary['imbalance']} < 1 with timed lanes")
+    print(f"check_trace: {path}: OK ({len(report['lanes'])} lane(s), "
+          f"imbalance {summary['imbalance']})")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="Chrome trace_event JSON to validate")
+    parser.add_argument("--metrics", action="append", default=[],
+                        help="metrics JSON report(s) to validate")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum non-metadata trace events")
+    args = parser.parse_args()
+    check_trace(args.trace, args.min_events)
+    for path in args.metrics:
+        check_metrics(path)
+
+
+if __name__ == "__main__":
+    main()

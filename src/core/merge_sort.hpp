@@ -30,6 +30,7 @@
 #include "core/merge_path.hpp"
 #include "core/parallel_merge.hpp"
 #include "core/sequential_merge.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/threading.hpp"
 
@@ -151,8 +152,10 @@ std::vector<Run> merge_round_balanced(const T* src, T* dst,
   const std::size_t base = runs.front().begin;
   const unsigned lanes = exec.resolve_threads();
   MP_CHECK(instr.empty() || instr.size() >= lanes);
+  obs::Span round_span("sort.round", "runs", runs.size());
 
   exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
+    obs::Span span("sort.round_slice", "lane", lane);
     Instr* li = instr.empty() ? nullptr : &instr[lane];
     const std::size_t g0 = base + lane * total / lanes;
     const std::size_t g1 = base + (lane + 1ull) * total / lanes;
@@ -179,8 +182,12 @@ std::vector<Run> merge_round_balanced(const T* src, T* dst,
       const std::size_t m = pr.a.size();
       const std::size_t n2 = pr.b.size();
       const std::size_t local_diag = s0 - pr.out_begin;
-      const PathPoint start = path_point_on_diagonal(
-          src + pr.a.begin, m, src + pr.b.begin, n2, local_diag, comp, li);
+      PathPoint start;
+      {
+        obs::Span search_span("sort.partition", "lane", lane);
+        start = path_point_on_diagonal(src + pr.a.begin, m, src + pr.b.begin,
+                                       n2, local_diag, comp, li);
+      }
       std::size_t i = start.i;
       std::size_t j = start.j;
       merge_steps(src + pr.a.begin, m, src + pr.b.begin, n2, &i, &j,
@@ -200,6 +207,7 @@ void parallel_merge_sort(T* data, std::size_t n, Executor exec = {},
                          Comp comp = {}, std::span<Instr> instr = {}) {
   const unsigned lanes = exec.resolve_threads();
   if (n <= 1) return;
+  obs::Span sort_span("sort", "n", n);
   std::vector<T> scratch(n);
   if (lanes == 1 || n <= lanes * detail::kInsertionSortThreshold) {
     Instr* li = instr.empty() ? nullptr : &instr[0];
@@ -210,6 +218,7 @@ void parallel_merge_sort(T* data, std::size_t n, Executor exec = {},
   // Phase 1: p blocks, each sorted sequentially by its own lane.
   std::vector<Run> runs(lanes);
   exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
+    obs::Span span("sort.block", "lane", lane);
     Instr* li = instr.empty() ? nullptr : &instr[lane];
     const std::size_t begin = lane * n / lanes;
     const std::size_t end = (lane + 1ull) * n / lanes;
@@ -228,6 +237,7 @@ void parallel_merge_sort(T* data, std::size_t n, Executor exec = {},
   if (src != data) {
     // Result landed in scratch: parallel copy-back (counted as moves).
     exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
+      obs::Span span("sort.copyback", "lane", lane);
       const std::size_t begin = lane * n / lanes;
       const std::size_t end = (lane + 1ull) * n / lanes;
       for (std::size_t i = begin; i < end; ++i) data[i] = std::move(src[i]);

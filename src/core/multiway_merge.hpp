@@ -27,6 +27,7 @@
 
 #include "core/instrument.hpp"
 #include "core/merge_sort.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/threading.hpp"
 
@@ -213,14 +214,19 @@ void parallel_multiway_merge(std::span<const std::span<const T>> runs, T* out,
   if (total == 0) return;
   const unsigned lanes = exec.resolve_threads();
   MP_CHECK(instr.empty() || instr.size() >= lanes);
+  obs::Span mwm_span("mwm", "n", total);
 
   exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
     Instr* li = instr.empty() ? nullptr : &instr[lane];
     const std::size_t r0 = lane * total / lanes;
     const std::size_t r1 = (lane + 1ull) * total / lanes;
     if (r0 == r1) return;
-    const std::vector<std::size_t> start =
-        multiway_select(runs, r0, comp, li);
+    std::vector<std::size_t> start;
+    {
+      obs::Span span("mwm.select", "lane", lane);
+      start = multiway_select(runs, r0, comp, li);
+    }
+    obs::Span span("mwm.merge", "lane", lane);
     std::vector<typename LoserTree<T, Comp>::Cursor> cursors(runs.size());
     for (std::size_t t = 0; t < runs.size(); ++t) {
       cursors[t] = {runs[t].data() + start[t],
@@ -244,6 +250,7 @@ void multiway_merge_sort(T* data, std::size_t n, Executor exec = {},
                          Comp comp = {}, std::span<Instr> instr = {}) {
   const unsigned lanes = exec.resolve_threads();
   if (n <= 1) return;
+  obs::Span sort_span("mwm.sort", "n", n);
   std::vector<T> scratch(n);
   if (lanes == 1 || n <= lanes * 32) {
     Instr* li = instr.empty() ? nullptr : &instr[0];
@@ -254,6 +261,7 @@ void multiway_merge_sort(T* data, std::size_t n, Executor exec = {},
   // Phase 1: p blocks, each sorted by its own lane (as in Section III).
   std::vector<std::span<const T>> runs(lanes);
   exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
+    obs::Span span("mwm.block", "lane", lane);
     Instr* li = instr.empty() ? nullptr : &instr[lane];
     const std::size_t begin = lane * n / lanes;
     const std::size_t end = (lane + 1ull) * n / lanes;

@@ -29,6 +29,7 @@
 #include "core/instrument.hpp"
 #include "core/merge_path.hpp"
 #include "core/sequential_merge.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/threading.hpp"
 
@@ -71,6 +72,7 @@ void parallel_merge(IterA a, std::size_t m, IterB b, std::size_t n,
                     std::span<Instr> instr = {}) {
   const unsigned lanes = exec.resolve_threads();
   MP_CHECK(instr.empty() || instr.size() >= lanes);
+  obs::Span merge_span("merge", "n", m + n);
 
   if (lanes == 1 || m + n <= lanes) {
     // Degenerate cases: sequential merge is both faster and simpler.
@@ -81,8 +83,12 @@ void parallel_merge(IterA a, std::size_t m, IterB b, std::size_t n,
 
   exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
     Instr* li = instr.empty() ? nullptr : &instr[lane];
-    const MergeSlice slice =
-        merge_slice_for_lane(a, m, b, n, lane, lanes, comp, li);
+    MergeSlice slice;
+    {
+      obs::Span span("merge.partition", "lane", lane);
+      slice = merge_slice_for_lane(a, m, b, n, lane, lanes, comp, li);
+    }
+    obs::Span span("merge.segment", "lane", lane);
     std::size_t i = slice.a_begin;
     std::size_t j = slice.b_begin;
     merge_steps(a, m, b, n, &i, &j, out + static_cast<std::ptrdiff_t>(slice.out_begin),

@@ -28,6 +28,7 @@
 #include "core/instrument.hpp"
 #include "core/merge_path.hpp"
 #include "core/sequential_merge.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/hw.hpp"
 #include "util/threading.hpp"
@@ -100,6 +101,7 @@ SegmentedStats segmented_parallel_merge(const T* a, std::size_t m, const T* b,
   const std::size_t L = config.resolve_segment_length<T>();
   const unsigned lanes = exec.resolve_threads();
   MP_CHECK(instr.empty() || instr.size() >= lanes);
+  obs::Span spm_span("spm", "n", m + n);
   SegmentedStats stats;
 
   // Staging areas: cyclic input rings of capacity L and a linear output
@@ -124,6 +126,7 @@ SegmentedStats segmented_parallel_merge(const T* a, std::size_t m, const T* b,
     const std::size_t fill_b = b_target - b_staged;
     if (fill_a + fill_b > 0) {
       exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
+        obs::Span span("spm.fetch", "lane", lane);
         Instr* li = instr.empty() ? nullptr : &instr[lane];
         const std::size_t a0 = a_staged + lane * fill_a / lanes;
         const std::size_t a1 = a_staged + (lane + 1ull) * fill_a / lanes;
@@ -151,7 +154,9 @@ SegmentedStats segmented_parallel_merge(const T* a, std::size_t m, const T* b,
 
     // --- Step 2: parallel partition + merge of this segment (Theorem 16:
     // the p start points depend only on the staged windows).
+    obs::Span::counter("spm.segment_len", seg_len);
     exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
+      obs::Span span("spm.segment", "lane", lane);
       Instr* li = instr.empty() ? nullptr : &instr[lane];
       const std::size_t d0 = lane * seg_len / lanes;
       const std::size_t d1 = (lane + 1ull) * seg_len / lanes;
@@ -174,6 +179,7 @@ SegmentedStats segmented_parallel_merge(const T* a, std::size_t m, const T* b,
 
     // --- Step 3: write the merged segment out.
     exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
+      obs::Span span("spm.flush", "lane", lane);
       const std::size_t d0 = lane * seg_len / lanes;
       const std::size_t d1 = (lane + 1ull) * seg_len / lanes;
       for (std::size_t k = d0; k < d1; ++k) out[out_pos + k] = seg_out[k];

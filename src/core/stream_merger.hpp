@@ -31,6 +31,7 @@
 #include "core/merge_path.hpp"
 #include "core/parallel_merge.hpp"
 #include "core/sequential_merge.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/threading.hpp"
 
@@ -86,6 +87,7 @@ class StreamMerger {
   std::size_t pull(std::span<T> out) {
     const std::size_t take = std::min(out.size(), available());
     if (take == 0) return 0;
+    obs::Span span("stream.pull", "take", take);
     const std::size_t avail_a = buffered_a();
     const std::size_t avail_b = buffered_b();
     const T* a = buf_a_.data() + head_a_;
@@ -111,6 +113,7 @@ class StreamMerger {
   std::vector<T> pull_all() {
     std::vector<T> out(available());
     const std::size_t got = pull(std::span<T>(out));
+    static_cast<void>(got);  // MP_ASSERT compiles away under NDEBUG
     MP_ASSERT(got == out.size());
     return out;
   }
@@ -124,6 +127,7 @@ class StreamMerger {
             bool open) {
     MP_CHECK(open);  // pushing after close_x() is a contract violation
     if (chunk.empty()) return;
+    obs::Span span("stream.push", "size", chunk.size());
     MP_ASSERT(std::is_sorted(chunk.begin(), chunk.end(), comp_));
     if (buf.size() > head) MP_ASSERT(!comp_(chunk.front(), buf.back()));
     buf.insert(buf.end(), chunk.begin(), chunk.end());

@@ -1,0 +1,277 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+namespace mp::obs {
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// JSON numbers lose integer precision past 2^53 in common consumers;
+/// metric magnitudes stay far below that, so plain emission is fine.
+void write_double(std::ostream& os, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  os << buf;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':' << counter->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ':' << gauge->value();
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    write_json_string(os, name);
+    os << ":{\"count\":" << histogram->count()
+       << ",\"sum\":" << histogram->sum() << ",\"buckets\":[";
+    bool first_bucket = true;
+    for (std::size_t k = 0; k < Histogram::kBuckets; ++k) {
+      const std::uint64_t n = histogram->bucket(k);
+      if (n == 0) continue;
+      if (!first_bucket) os << ',';
+      first_bucket = false;
+      os << "{\"bit\":" << k << ",\"count\":" << n << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+Table MetricsRegistry::to_table() const {
+  std::lock_guard lock(mutex_);
+  Table table({"metric", "kind", "value"});
+  for (const auto& [name, counter] : counters_)
+    table.add_row({name, "counter", fmt_count(counter->value())});
+  for (const auto& [name, gauge] : gauges_)
+    table.add_row({name, "gauge", std::to_string(gauge->value())});
+  for (const auto& [name, histogram] : histograms_)
+    table.add_row({name, "histogram",
+                   fmt_count(histogram->count()) + " obs, sum " +
+                       fmt_count(histogram->sum())});
+  return table;
+}
+
+// ---------------------------------------------------------------------------
+
+LaneMetrics& LaneMetrics::instance() {
+  static LaneMetrics* metrics = new LaneMetrics;
+  return *metrics;
+}
+
+void LaneMetrics::arm() {
+  reset();
+  detail::g_lane_metrics_armed.store(true, std::memory_order_release);
+}
+
+void LaneMetrics::disarm() {
+  detail::g_lane_metrics_armed.store(false, std::memory_order_release);
+}
+
+void LaneMetrics::record_lane(unsigned lane, std::uint64_t ns) {
+  Slot& slot = slots_[std::min(lane, kMaxMetricLanes - 1)];
+  slot.runs.fetch_add(1, std::memory_order_relaxed);
+  slot.lane_ns.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void LaneMetrics::record_job(unsigned lanes) {
+  jobs_.fetch_add(1, std::memory_order_relaxed);
+  static_cast<void>(lanes);
+}
+
+void LaneMetrics::record_barrier_wait(std::uint64_t ns) {
+  barrier_waits_.fetch_add(1, std::memory_order_relaxed);
+  barrier_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void LaneMetrics::record_checkout(std::uint64_t ns) {
+  checkouts_.fetch_add(1, std::memory_order_relaxed);
+  checkout_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+void LaneMetrics::record_ops(unsigned lane, const OpCounts& ops) {
+  Slot& slot = slots_[std::min(lane, kMaxMetricLanes - 1)];
+  slot.compares.fetch_add(ops.compares, std::memory_order_relaxed);
+  slot.moves.fetch_add(ops.moves, std::memory_order_relaxed);
+  slot.search_steps.fetch_add(ops.search_steps, std::memory_order_relaxed);
+  slot.stages.fetch_add(ops.stages, std::memory_order_relaxed);
+}
+
+void LaneMetrics::reset() {
+  for (Slot& slot : slots_) {
+    slot.runs.store(0, std::memory_order_relaxed);
+    slot.lane_ns.store(0, std::memory_order_relaxed);
+    slot.compares.store(0, std::memory_order_relaxed);
+    slot.moves.store(0, std::memory_order_relaxed);
+    slot.search_steps.store(0, std::memory_order_relaxed);
+    slot.stages.store(0, std::memory_order_relaxed);
+  }
+  jobs_.store(0, std::memory_order_relaxed);
+  barrier_waits_.store(0, std::memory_order_relaxed);
+  barrier_ns_.store(0, std::memory_order_relaxed);
+  checkouts_.store(0, std::memory_order_relaxed);
+  checkout_ns_.store(0, std::memory_order_relaxed);
+}
+
+LaneReport LaneMetrics::snapshot() const {
+  LaneReport report;
+  for (unsigned lane = 0; lane < kMaxMetricLanes; ++lane) {
+    const Slot& slot = slots_[lane];
+    LaneReport::Row row;
+    row.lane = lane;
+    row.runs = slot.runs.load(std::memory_order_relaxed);
+    row.lane_ns = slot.lane_ns.load(std::memory_order_relaxed);
+    row.compares = slot.compares.load(std::memory_order_relaxed);
+    row.moves = slot.moves.load(std::memory_order_relaxed);
+    row.search_steps = slot.search_steps.load(std::memory_order_relaxed);
+    row.stages = slot.stages.load(std::memory_order_relaxed);
+    if (row.runs == 0 && row.compares == 0 && row.moves == 0 &&
+        row.search_steps == 0 && row.stages == 0)
+      continue;
+    report.lanes.push_back(row);
+  }
+  report.jobs = jobs_.load(std::memory_order_relaxed);
+  report.barrier_waits = barrier_waits_.load(std::memory_order_relaxed);
+  report.barrier_ns = barrier_ns_.load(std::memory_order_relaxed);
+  report.checkouts = checkouts_.load(std::memory_order_relaxed);
+  report.checkout_ns = checkout_ns_.load(std::memory_order_relaxed);
+
+  std::uint64_t timed_lanes = 0, total_ns = 0;
+  for (const LaneReport::Row& row : report.lanes) {
+    if (row.runs == 0) continue;
+    ++timed_lanes;
+    total_ns += row.lane_ns;
+    report.lane_ns_max = std::max(report.lane_ns_max, row.lane_ns);
+    report.lane_ns_min = timed_lanes == 1
+                             ? row.lane_ns
+                             : std::min(report.lane_ns_min, row.lane_ns);
+  }
+  if (timed_lanes > 0) {
+    report.lane_ns_mean =
+        static_cast<double>(total_ns) / static_cast<double>(timed_lanes);
+    report.imbalance = report.lane_ns_mean > 0.0
+                           ? static_cast<double>(report.lane_ns_max) /
+                                 report.lane_ns_mean
+                           : 1.0;
+  }
+  return report;
+}
+
+void LaneReport::write_json(std::ostream& os) const {
+  os << "{\"schema\":\"mergepath-lane-metrics-v1\",\"jobs\":" << jobs
+     << ",\"barrier\":{\"waits\":" << barrier_waits
+     << ",\"wait_ns\":" << barrier_ns << ",\"checkouts\":" << checkouts
+     << ",\"checkout_ns\":" << checkout_ns << "},\"lanes\":[";
+  bool first = true;
+  for (const Row& row : lanes) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"lane\":" << row.lane << ",\"runs\":" << row.runs
+       << ",\"lane_ns\":" << row.lane_ns << ",\"compares\":" << row.compares
+       << ",\"moves\":" << row.moves
+       << ",\"search_steps\":" << row.search_steps
+       << ",\"stages\":" << row.stages << '}';
+  }
+  os << "],\"lane_time\":{\"max_ns\":" << lane_ns_max
+     << ",\"min_ns\":" << lane_ns_min << ",\"mean_ns\":";
+  write_double(os, lane_ns_mean);
+  os << ",\"imbalance\":";
+  write_double(os, imbalance);
+  os << "}}";
+}
+
+void write_metrics_json(std::ostream& os) {
+  os << "{\"lane_report\":";
+  LaneMetrics::instance().snapshot().write_json(os);
+  os << ",\"registry\":";
+  MetricsRegistry::instance().write_json(os);
+  os << "}\n";
+}
+
+bool write_metrics_json_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot write metrics to " << path << "\n";
+    return false;
+  }
+  write_metrics_json(out);
+  return out.good();
+}
+
+}  // namespace mp::obs

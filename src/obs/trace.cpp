@@ -1,0 +1,238 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+namespace mp::obs {
+
+#if MP_TRACE
+
+namespace {
+
+/// Owns every thread's ring buffer. Buffers are created on a thread's first
+/// recorded event and never destroyed (the registry itself is leaked on
+/// purpose: ThreadPool workers may still hold cached buffer pointers during
+/// static destruction, and ~3 MiB of process-lifetime state is cheaper than
+/// a shutdown-order hazard).
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers;
+  std::size_t capacity = kDefaultTraceCapacity;
+
+  static TraceRegistry& instance() {
+    static TraceRegistry* registry = new TraceRegistry;
+    return *registry;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+ThreadBuffer* register_thread_buffer() {
+  TraceRegistry& registry = TraceRegistry::instance();
+  std::lock_guard lock(registry.mutex);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<std::uint32_t>(registry.buffers.size());
+  buffer->ring.resize(registry.capacity);
+  registry.buffers.push_back(std::move(buffer));
+  return registry.buffers.back().get();
+}
+
+}  // namespace detail
+
+void arm_tracing(std::size_t events_per_thread) {
+  TraceRegistry& registry = TraceRegistry::instance();
+  std::lock_guard lock(registry.mutex);
+  registry.capacity = events_per_thread;
+  for (auto& buffer : registry.buffers) {
+    buffer->ring.assign(events_per_thread, TraceEvent{});
+    buffer->next = 0;
+    buffer->count = 0;
+    buffer->dropped = 0;
+  }
+  detail::g_trace_epoch_ns.store(detail::monotonic_ns(),
+                                 std::memory_order_relaxed);
+  // Release pairs with the acquire in the span hot path: a thread that sees
+  // "armed" also sees the reset buffers and the new epoch.
+  detail::g_trace_armed.store(true, std::memory_order_release);
+}
+
+void disarm_tracing() {
+  detail::g_trace_armed.store(false, std::memory_order_release);
+}
+
+bool tracing_armed() {
+  return detail::g_trace_armed.load(std::memory_order_acquire);
+}
+
+void reset_tracing() {
+  TraceRegistry& registry = TraceRegistry::instance();
+  std::lock_guard lock(registry.mutex);
+  for (auto& buffer : registry.buffers) {
+    buffer->next = 0;
+    buffer->count = 0;
+    buffer->dropped = 0;
+  }
+}
+
+std::vector<TraceEvent> trace_snapshot() {
+  TraceRegistry& registry = TraceRegistry::instance();
+  std::lock_guard lock(registry.mutex);
+  std::vector<TraceEvent> events;
+  for (const auto& buffer : registry.buffers) {
+    // Oldest-first: the ring's valid region ends just before `next`.
+    const std::size_t cap = buffer->ring.size();
+    for (std::size_t k = 0; k < buffer->count; ++k) {
+      const std::size_t idx = (buffer->next + cap - buffer->count + k) % cap;
+      TraceEvent event = buffer->ring[idx];
+      event.tid = buffer->tid;
+      events.push_back(event);
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.ts_ns != y.ts_ns) return x.ts_ns < y.ts_ns;
+              return x.dur_ns > y.dur_ns;  // parent before children
+            });
+  return events;
+}
+
+std::uint64_t trace_dropped() {
+  TraceRegistry& registry = TraceRegistry::instance();
+  std::lock_guard lock(registry.mutex);
+  std::uint64_t total = 0;
+  for (const auto& buffer : registry.buffers) total += buffer->dropped;
+  return total;
+}
+
+std::size_t trace_thread_count() {
+  TraceRegistry& registry = TraceRegistry::instance();
+  std::lock_guard lock(registry.mutex);
+  return registry.buffers.size();
+}
+
+#else  // !MP_TRACE — control plane degrades to an empty trace.
+
+namespace detail {
+ThreadBuffer* register_thread_buffer() { return nullptr; }
+}  // namespace detail
+
+void arm_tracing(std::size_t) {}
+void disarm_tracing() {}
+bool tracing_armed() { return false; }
+void reset_tracing() {}
+std::vector<TraceEvent> trace_snapshot() { return {}; }
+std::uint64_t trace_dropped() { return 0; }
+std::size_t trace_thread_count() { return 0; }
+
+#endif  // MP_TRACE
+
+namespace {
+
+/// Minimal JSON string escape; event names are static C identifiers in
+/// practice, but the exporter must never emit malformed JSON.
+void write_json_string(std::ostream& os, const char* s) {
+  os << '"';
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+/// Chrome trace `ts`/`dur` are microseconds; emit with ns resolution.
+void write_micros(std::ostream& os, std::uint64_t ns) {
+  os << ns / 1000 << '.' << static_cast<char>('0' + (ns / 100) % 10)
+     << static_cast<char>('0' + (ns / 10) % 10)
+     << static_cast<char>('0' + ns % 10);
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os) {
+  const std::vector<TraceEvent> events = trace_snapshot();
+
+  os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":"
+     << trace_dropped() << "},\"traceEvents\":[";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << '\n';
+  };
+
+  // Metadata: name the process and every recording thread.
+  comma();
+  os << R"({"name":"process_name","ph":"M","pid":0,"tid":0,)"
+     << R"("args":{"name":"mergepath"}})";
+  std::vector<std::uint32_t> tids;
+  for (const TraceEvent& event : events) tids.push_back(event.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  for (const std::uint32_t tid : tids) {
+    comma();
+    os << R"({"name":"thread_name","ph":"M","pid":0,"tid":)" << tid
+       << R"(,"args":{"name":"recorder thread )" << tid << "\"}}";
+  }
+
+  for (const TraceEvent& event : events) {
+    comma();
+    os << "{\"name\":";
+    write_json_string(os, event.name ? event.name : "?");
+    os << ",\"cat\":\"mp\",\"ph\":\"";
+    switch (event.kind) {
+      case EventKind::kSpan: os << 'X'; break;
+      case EventKind::kCounter: os << 'C'; break;
+      case EventKind::kInstant: os << 'i'; break;
+    }
+    os << "\",\"ts\":";
+    write_micros(os, event.ts_ns);
+    if (event.kind == EventKind::kSpan) {
+      os << ",\"dur\":";
+      write_micros(os, event.dur_ns);
+    }
+    if (event.kind == EventKind::kInstant) os << ",\"s\":\"t\"";
+    os << ",\"pid\":0,\"tid\":" << event.tid;
+    if (event.kind == EventKind::kCounter) {
+      os << ",\"args\":{\"value\":" << event.arg << '}';
+    } else if (event.arg_name) {
+      os << ",\"args\":{";
+      write_json_string(os, event.arg_name);
+      os << ':' << event.arg << '}';
+    }
+    os << '}';
+  }
+  os << "\n]}\n";
+}
+
+bool write_chrome_trace_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot write trace to " << path << "\n";
+    return false;
+  }
+  write_chrome_trace(out);
+  return out.good();
+}
+
+}  // namespace mp::obs

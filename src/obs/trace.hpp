@@ -1,0 +1,237 @@
+#pragma once
+/// \file trace.hpp
+/// Lane-level tracing: a lock-free per-thread span/counter recorder with a
+/// Chrome/Perfetto trace_event exporter (chrome_trace.cpp side lives in
+/// trace.cpp).
+///
+/// Design (see docs/OBSERVABILITY.md):
+///  - Each recording thread owns a fixed-capacity ring buffer of complete
+///    events. The hot path (Span construction/destruction) touches only
+///    thread-local state — no locks, no allocation; the only shared access
+///    is one relaxed-ish atomic load of the "armed" flag. When the ring is
+///    full the oldest events are overwritten and counted as dropped, so a
+///    long run keeps the most recent window instead of failing.
+///  - Spans are stored as single complete records (start + duration), never
+///    as separate begin/end entries, so ring eviction can not orphan half a
+///    span: every span in a snapshot is balanced by construction.
+///  - Arming, disarming, resetting and snapshotting are cold control-plane
+///    operations (trace.cpp). They may only run while no instrumented work
+///    is in flight — the same quiescence the ThreadPool's fork-join barrier
+///    already provides — which is what keeps the recorder TSan-clean
+///    without hot-path synchronisation.
+///
+/// Compile-time gate: building with MP_TRACE=0 (cmake
+/// -DMERGEPATH_TRACE=OFF) replaces Span with an empty type and turns every
+/// call site into nothing — zero bytes of state, zero instructions. The
+/// control plane (arm/export) stays callable and reports an empty trace, so
+/// tools like `mpsort --trace` degrade gracefully instead of failing to
+/// build. The recording and no-op span types have distinct names (the
+/// `Span` alias selects one), so mixed-gate builds never define the same
+/// entity two different ways.
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#ifndef MP_TRACE
+#define MP_TRACE 1
+#endif
+
+namespace mp::obs {
+
+/// True when span call sites compile to real recording code.
+inline constexpr bool kTraceCompiledIn = MP_TRACE != 0;
+
+/// Default per-thread ring capacity (events). ~48 bytes/event, so 64Ki
+/// events ≈ 3 MiB per recording thread.
+inline constexpr std::size_t kDefaultTraceCapacity = std::size_t{1} << 16;
+
+enum class EventKind : std::uint8_t {
+  kSpan,     ///< timed interval (Chrome "X")
+  kCounter,  ///< sampled counter value (Chrome "C")
+  kInstant,  ///< point event (Chrome "i")
+};
+
+/// One recorded event. `name` and `arg_name` must be pointers to strings
+/// with static storage duration (the recorder stores the pointer only).
+struct TraceEvent {
+  std::uint64_t ts_ns = 0;       ///< start, relative to the arm epoch
+  std::uint64_t dur_ns = 0;      ///< span duration; 0 for counter/instant
+  const char* name = nullptr;    ///< static string
+  const char* arg_name = nullptr;  ///< optional static string (nullptr: none)
+  std::uint64_t arg = 0;         ///< arg / counter value
+  std::uint32_t tid = 0;         ///< recording thread id (filled on snapshot)
+  EventKind kind = EventKind::kSpan;
+};
+
+namespace detail {
+
+/// Per-thread event ring. Written only by its owning thread; read by the
+/// control plane while the owner is quiescent.
+struct ThreadBuffer {
+  std::vector<TraceEvent> ring;
+  std::size_t next = 0;        ///< next write slot
+  std::size_t count = 0;       ///< valid events (<= ring.size())
+  std::uint64_t dropped = 0;   ///< events lost to wraparound (or capacity 0)
+  std::uint32_t tid = 0;       ///< registration order
+
+  void push(const TraceEvent& event) {
+    if (ring.empty()) {
+      ++dropped;
+      return;
+    }
+    ring[next] = event;
+    next = next + 1 == ring.size() ? 0 : next + 1;
+    if (count < ring.size())
+      ++count;
+    else
+      ++dropped;  // overwrote the oldest event
+  }
+};
+
+/// Armed flag, checked inline on every span. The release store in
+/// arm_tracing() pairs with this acquire so a thread that observes "armed"
+/// also observes the (re)initialised buffers and epoch.
+inline std::atomic<bool> g_trace_armed{false};
+
+/// Cached pointer to this thread's buffer. Buffers live until process exit
+/// (the registry never destroys them), so a cached pointer cannot dangle.
+inline thread_local ThreadBuffer* g_thread_buffer = nullptr;
+
+/// Cold path: registers a buffer for the calling thread (trace.cpp).
+ThreadBuffer* register_thread_buffer();
+
+inline std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Arm epoch in monotonic_ns units; event timestamps are relative to it.
+inline std::atomic<std::uint64_t> g_trace_epoch_ns{0};
+
+inline ThreadBuffer* local_buffer() {
+  ThreadBuffer* buffer = g_thread_buffer;
+  if (!buffer) buffer = g_thread_buffer = register_thread_buffer();
+  return buffer;
+}
+
+/// RAII span + counter/instant entry points, real implementation.
+class RecordingSpan {
+ public:
+  explicit RecordingSpan(const char* name, const char* arg_name = nullptr,
+                         std::uint64_t arg = 0) {
+    if (!g_trace_armed.load(std::memory_order_acquire)) return;
+    buffer_ = local_buffer();
+    name_ = name;
+    arg_name_ = arg_name;
+    arg_ = arg;
+    start_ns_ = monotonic_ns();
+  }
+
+  ~RecordingSpan() {
+    if (!buffer_) return;
+    const std::uint64_t epoch =
+        g_trace_epoch_ns.load(std::memory_order_relaxed);
+    const std::uint64_t now = monotonic_ns();
+    buffer_->push(TraceEvent{start_ns_ - epoch, now - start_ns_, name_,
+                             arg_name_, arg_, 0, EventKind::kSpan});
+  }
+
+  RecordingSpan(const RecordingSpan&) = delete;
+  RecordingSpan& operator=(const RecordingSpan&) = delete;
+
+  /// Records a sampled counter value (Chrome "C" event).
+  static void counter(const char* name, std::uint64_t value) {
+    if (!g_trace_armed.load(std::memory_order_acquire)) return;
+    const std::uint64_t epoch =
+        g_trace_epoch_ns.load(std::memory_order_relaxed);
+    local_buffer()->push(TraceEvent{monotonic_ns() - epoch, 0, name, nullptr,
+                                    value, 0, EventKind::kCounter});
+  }
+
+  /// Records a point-in-time event (Chrome "i" event).
+  static void instant(const char* name, const char* arg_name = nullptr,
+                      std::uint64_t arg = 0) {
+    if (!g_trace_armed.load(std::memory_order_acquire)) return;
+    const std::uint64_t epoch =
+        g_trace_epoch_ns.load(std::memory_order_relaxed);
+    local_buffer()->push(TraceEvent{monotonic_ns() - epoch, 0, name, arg_name,
+                                    arg, 0, EventKind::kInstant});
+  }
+
+ private:
+  ThreadBuffer* buffer_ = nullptr;  // nullptr: tracing was off at entry
+  const char* name_ = nullptr;
+  const char* arg_name_ = nullptr;
+  std::uint64_t arg_ = 0;
+  std::uint64_t start_ns_ = 0;
+};
+
+/// Compile-time no-op stand-in: no state, no code. Argument expressions are
+/// still swallowed unevaluated-cheaply (they are static strings and ints at
+/// every call site).
+class NullSpan {
+ public:
+  template <typename... Args>
+  explicit NullSpan(Args&&...) {}
+  NullSpan(const NullSpan&) = delete;
+  NullSpan& operator=(const NullSpan&) = delete;
+
+  template <typename... Args>
+  static void counter(Args&&...) {}
+  template <typename... Args>
+  static void instant(Args&&...) {}
+};
+
+}  // namespace detail
+
+#if MP_TRACE
+using Span = detail::RecordingSpan;
+#else
+using Span = detail::NullSpan;
+#endif
+
+// ---------------------------------------------------------------------------
+// Control plane (defined in trace.cpp; always compiled, stubbed to no-ops in
+// an MP_TRACE=0 build of the obs library). May only be called while no
+// instrumented work is in flight.
+
+/// Starts recording: resets all rings to `events_per_thread` capacity and
+/// sets the trace epoch to "now".
+void arm_tracing(std::size_t events_per_thread = kDefaultTraceCapacity);
+
+/// Stops recording. Already-recorded events are kept for snapshot/export.
+void disarm_tracing();
+
+/// True between arm_tracing() and disarm_tracing().
+bool tracing_armed();
+
+/// Drops all recorded events and drop counts (buffers stay registered).
+void reset_tracing();
+
+/// All recorded events, sorted by timestamp (ties: longer span first, so a
+/// parent precedes the children it encloses). Non-destructive.
+std::vector<TraceEvent> trace_snapshot();
+
+/// Total events lost to ring wraparound since the last arm/reset.
+std::uint64_t trace_dropped();
+
+/// Number of threads that have recorded at least one event ever.
+std::size_t trace_thread_count();
+
+/// Writes the Chrome/Perfetto trace_event JSON for the current snapshot
+/// (load via chrome://tracing or https://ui.perfetto.dev). Spans are "X"
+/// complete events; counters "C"; instants "i".
+void write_chrome_trace(std::ostream& os);
+
+/// write_chrome_trace() to a file; returns false (and reports on stderr) if
+/// the file cannot be written.
+bool write_chrome_trace_file(const std::string& path);
+
+}  // namespace mp::obs

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace mp {
@@ -55,7 +57,24 @@ struct ThreadPool::Impl {
       }
       run_lanes(*my_task, my_lanes);
       {
-        std::lock_guard lock(mutex);
+        // Check out. The time spent acquiring this lock is the per-worker
+        // share of the fork-join teardown cost ROADMAP asks about; it is
+        // timed (when lane metrics are armed) and traced so the answer
+        // comes from measurement, not guesswork.
+        std::unique_lock lock(mutex, std::defer_lock);
+        {
+          obs::Span span("pool.checkout");
+          const bool timed = obs::lane_metrics_armed();
+          const std::uint64_t t0 = timed ? obs::detail::monotonic_ns() : 0;
+          lock.lock();
+          if (timed)
+            obs::LaneMetrics::instance().record_checkout(
+                obs::detail::monotonic_ns() - t0);
+          // ~Span pushes into this worker's trace ring HERE, while the pool
+          // mutex is still held: the push must happen-before the caller
+          // observes quiescence, or a trace_snapshot() taken right after
+          // parallel_for_lanes returns races with it.
+        }
         --workers_in_job;
         if (job_quiescent()) job_done.notify_all();
       }
@@ -67,13 +86,21 @@ struct ThreadPool::Impl {
   void run_lanes(const std::function<void(unsigned)>& fn, unsigned lanes) {
     unsigned completed = 0;
     std::exception_ptr error;
+    const bool timed = obs::lane_metrics_armed();
     for (;;) {
       const unsigned lane = next_lane.fetch_add(1, std::memory_order_relaxed);
       if (lane >= lanes) break;
-      try {
-        fn(lane);
-      } catch (...) {
-        if (!error) error = std::current_exception();
+      {
+        obs::Span span("pool.lane", "lane", lane);
+        const std::uint64_t t0 = timed ? obs::detail::monotonic_ns() : 0;
+        try {
+          fn(lane);
+        } catch (...) {
+          if (!error) error = std::current_exception();
+        }
+        if (timed)
+          obs::LaneMetrics::instance().record_lane(
+              lane, obs::detail::monotonic_ns() - t0);
       }
       ++completed;
     }
@@ -115,10 +142,21 @@ unsigned ThreadPool::workers() const {
 void ThreadPool::parallel_for_lanes(
     unsigned lanes, const std::function<void(unsigned)>& task) {
   if (lanes == 0) return;
+  obs::Span job_span("pool.job", "lanes", lanes);
+  const bool timed = obs::lane_metrics_armed();
+  if (timed) obs::LaneMetrics::instance().record_job(lanes);
   if (lanes == 1 || impl_->threads.empty()) {
     // No parallel machinery needed; run inline (still exercises the same
-    // lane function).
-    for (unsigned lane = 0; lane < lanes; ++lane) task(lane);
+    // lane function). Lane spans/timings are still recorded so single-
+    // threaded runs produce the same trace shape as pooled ones.
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      obs::Span span("pool.lane", "lane", lane);
+      const std::uint64_t t0 = timed ? obs::detail::monotonic_ns() : 0;
+      task(lane);
+      if (timed)
+        obs::LaneMetrics::instance().record_lane(
+            lane, obs::detail::monotonic_ns() - t0);
+    }
     return;
   }
 
@@ -141,6 +179,11 @@ void ThreadPool::parallel_for_lanes(
 
   std::exception_ptr error;
   {
+    // Caller-side barrier: how long lane 0 idles after its own lanes are
+    // done is the join half of the fork-join overhead (see
+    // docs/OBSERVABILITY.md and the ROADMAP check-in/out question).
+    obs::Span barrier_span("pool.barrier", "lanes", lanes);
+    const std::uint64_t b0 = timed ? obs::detail::monotonic_ns() : 0;
     std::unique_lock lock(impl_->mutex);
     // Wait for every lane to finish *and* every checked-in worker to leave
     // run_lanes: only then is it safe to invalidate `task` and let the next
@@ -148,6 +191,9 @@ void ThreadPool::parallel_for_lanes(
     impl_->job_done.wait(lock, [&] { return impl_->job_quiescent(); });
     impl_->job_active = false;
     error = impl_->first_error;
+    if (timed)
+      obs::LaneMetrics::instance().record_barrier_wait(
+          obs::detail::monotonic_ns() - b0);
   }
   if (error) std::rethrow_exception(error);
 }

@@ -96,4 +96,63 @@ TEST(MpsortTool, UsageErrors) {
   EXPECT_EQ(run("unknown-command x y"), 2);
 }
 
+TEST(MpsortTool, RejectsNonNumericThreadCount) {
+  const auto in = temp_file("threads_in.txt");
+  const auto out = temp_file("threads_out.txt");
+  write_file(in, "b\na\n");
+  // These used to escape std::stoul and abort; now they are usage errors.
+  EXPECT_EQ(run("sort " + in + " " + out + " --threads banana"), 2);
+  EXPECT_EQ(run("sort " + in + " " + out + " --threads 12abc"), 2);
+  EXPECT_EQ(run("sort " + in + " " + out + " --threads 99999999999999999999"),
+            2);
+  EXPECT_EQ(run("sort " + in + " " + out + " --threads"), 2);  // missing value
+  EXPECT_EQ(run("sort " + in + " " + out + " --threads 2"), 0);
+}
+
+TEST(MpsortTool, MergeNumericOrdersByValue) {
+  const auto a = temp_file("num_a.txt");
+  const auto b = temp_file("num_b.txt");
+  const auto out = temp_file("num_m.txt");
+  write_file(a, "2\n10\n");
+  write_file(b, "-1\n9\n");
+  ASSERT_EQ(run("merge " + out + " " + a + " " + b + " --numeric"), 0);
+  EXPECT_EQ(read_file(out), "-1\n2\n9\n10\n");
+  // Without --numeric the same inputs fail the lexicographic pre-sort check
+  // ("2" > "10"), which is exactly why the flag exists for merge.
+  EXPECT_EQ(run("merge " + out + " " + a + " " + b), 1);
+}
+
+TEST(MpsortTool, TraceFlagWritesChromeTraceJson) {
+  const auto in = temp_file("trace_in.txt");
+  const auto out = temp_file("trace_out.txt");
+  const auto trace = temp_file("trace.json");
+  std::string lines;
+  for (int i = 2000; i-- > 0;) lines += std::to_string(i) + "\n";
+  write_file(in, lines);
+  ASSERT_EQ(run("sort " + in + " " + out + " --numeric --threads 4 --trace " +
+                trace),
+            0);
+  const std::string json = read_file(trace);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(MpsortTool, MetricsJsonReportsLanesAndImbalance) {
+  const auto in = temp_file("metrics_in.txt");
+  const auto out = temp_file("metrics_out.txt");
+  const auto metrics = temp_file("metrics.json");
+  std::string lines;
+  for (int i = 5000; i-- > 0;) lines += std::to_string(i) + "\n";
+  write_file(in, lines);
+  ASSERT_EQ(run("sort " + in + " " + out +
+                " --numeric --threads 4 --metrics --metrics-json " + metrics),
+            0);
+  const std::string json = read_file(metrics);
+  EXPECT_NE(json.find("\"schema\":\"mergepath-lane-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"lanes\":["), std::string::npos);
+  EXPECT_NE(json.find("\"compares\""), std::string::npos);
+  EXPECT_NE(json.find("\"imbalance\""), std::string::npos);
+}
+
 }  // namespace

@@ -1,0 +1,397 @@
+// Tests of the observability subsystem (src/obs/): the lock-free trace
+// recorder (ring wraparound, snapshot ordering, Chrome-trace export), the
+// metrics registry, and the per-lane aggregation including the imbalance
+// summary. The multi-threaded stress cases double as the TSan coverage for
+// the recorder's quiescence contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/instrument.hpp"
+#include "core/parallel_merge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/threading.hpp"
+
+namespace {
+
+using namespace mp;
+
+// Every test arms/disarms its own window; the fixture guarantees a clean
+// slate even if an assertion fails mid-test.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::disarm_tracing();
+    obs::reset_tracing();
+    obs::LaneMetrics::instance().disarm();
+    obs::LaneMetrics::instance().reset();
+  }
+  void TearDown() override {
+    obs::disarm_tracing();
+    obs::LaneMetrics::instance().disarm();
+  }
+};
+
+std::vector<obs::TraceEvent> events_named(
+    const std::vector<obs::TraceEvent>& events, const std::string& name) {
+  std::vector<obs::TraceEvent> out;
+  for (const auto& e : events)
+    if (e.name && name == e.name) out.push_back(e);
+  return out;
+}
+
+TEST_F(ObsTest, SpanRecordsNameArgAndDuration) {
+  obs::arm_tracing();
+  {
+    obs::Span span("test.span", "value", 7);
+  }
+  obs::disarm_tracing();
+  const auto spans = events_named(obs::trace_snapshot(), "test.span");
+  ASSERT_EQ(spans.size(), obs::kTraceCompiledIn ? 1u : 0u);
+  if (!obs::kTraceCompiledIn) return;
+  EXPECT_EQ(spans[0].kind, obs::EventKind::kSpan);
+  EXPECT_STREQ(spans[0].arg_name, "value");
+  EXPECT_EQ(spans[0].arg, 7u);
+}
+
+TEST_F(ObsTest, NothingRecordedWhileDisarmed) {
+  {
+    obs::Span span("test.unarmed");
+    obs::Span::counter("test.counter", 1);
+    obs::Span::instant("test.instant");
+  }
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+}
+
+TEST_F(ObsTest, SpanOpenAcrossDisarmIsStillRecorded) {
+  // The armed check happens at construction; a span alive at disarm time
+  // completes into its (still registered) buffer.
+  obs::arm_tracing();
+  {
+    obs::Span span("test.straddle");
+    obs::disarm_tracing();
+  }
+  EXPECT_EQ(events_named(obs::trace_snapshot(), "test.straddle").size(),
+            obs::kTraceCompiledIn ? 1u : 0u);
+}
+
+TEST_F(ObsTest, CounterAndInstantEvents) {
+  obs::arm_tracing();
+  obs::Span::counter("test.gauge", 41);
+  obs::Span::counter("test.gauge", 42);
+  obs::Span::instant("test.mark", "round", 3);
+  obs::disarm_tracing();
+  const auto events = obs::trace_snapshot();
+  const auto counters = events_named(events, "test.gauge");
+  ASSERT_EQ(counters.size(), obs::kTraceCompiledIn ? 2u : 0u);
+  if (!obs::kTraceCompiledIn) return;
+  EXPECT_EQ(counters[0].kind, obs::EventKind::kCounter);
+  EXPECT_EQ(counters[0].arg, 41u);
+  EXPECT_EQ(counters[1].arg, 42u);
+  const auto instants = events_named(events, "test.mark");
+  ASSERT_EQ(instants.size(), 1u);
+  EXPECT_EQ(instants[0].kind, obs::EventKind::kInstant);
+  EXPECT_EQ(instants[0].arg, 3u);
+}
+
+TEST_F(ObsTest, RingWrapsKeepingNewestAndCountsDropped) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  obs::arm_tracing(/*events_per_thread=*/8);
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    obs::Span::instant("test.seq", "k", k);
+  }
+  obs::disarm_tracing();
+  const auto events = events_named(obs::trace_snapshot(), "test.seq");
+  ASSERT_EQ(events.size(), 8u);
+  EXPECT_EQ(obs::trace_dropped(), 12u);
+  // Oldest events were evicted: the survivors are exactly k = 12..19, in
+  // order.
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].arg, 12 + i);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedByTimestamp) {
+  obs::arm_tracing();
+  for (int k = 0; k < 100; ++k) obs::Span::instant("test.tick");
+  obs::disarm_tracing();
+  const auto events = obs::trace_snapshot();
+  EXPECT_TRUE(std::is_sorted(
+      events.begin(), events.end(),
+      [](const auto& x, const auto& y) { return x.ts_ns < y.ts_ns; }));
+}
+
+TEST_F(ObsTest, RearmResetsPreviousWindow) {
+  obs::arm_tracing();
+  obs::Span::instant("test.old");
+  obs::arm_tracing();  // re-arm: old window must be gone
+  obs::Span::instant("test.new");
+  obs::disarm_tracing();
+  const auto events = obs::trace_snapshot();
+  EXPECT_TRUE(events_named(events, "test.old").empty());
+  EXPECT_EQ(events_named(events, "test.new").size(),
+            obs::kTraceCompiledIn ? 1u : 0u);
+}
+
+TEST_F(ObsTest, ResetClearsEventsAndDropCounts) {
+  obs::arm_tracing(4);
+  for (int k = 0; k < 10; ++k) obs::Span::instant("test.tick");
+  obs::disarm_tracing();
+  obs::reset_tracing();
+  EXPECT_TRUE(obs::trace_snapshot().empty());
+  EXPECT_EQ(obs::trace_dropped(), 0u);
+}
+
+// Minimal structural JSON scan: verifies brace/bracket balance outside
+// string literals and the presence of the required top-level keys. Full
+// parse validation lives in scripts/check_trace.py (run in CI).
+void expect_balanced_json(const std::string& text) {
+  int depth_obj = 0, depth_arr = 0;
+  bool in_string = false, escaped = false;
+  for (const char c : text) {
+    if (in_string) {
+      if (escaped)
+        escaped = false;
+      else if (c == '\\')
+        escaped = true;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++depth_obj; break;
+      case '}': --depth_obj; break;
+      case '[': ++depth_arr; break;
+      case ']': --depth_arr; break;
+      default: break;
+    }
+    EXPECT_GE(depth_obj, 0);
+    EXPECT_GE(depth_arr, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(depth_obj, 0);
+  EXPECT_EQ(depth_arr, 0);
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsStructurallyValidJson) {
+  obs::arm_tracing();
+  {
+    obs::Span outer("test.outer", "n", 2);
+    obs::Span inner("test.inner");
+    obs::Span::counter("test.count", 5);
+    obs::Span::instant("test.mark");
+  }
+  obs::disarm_tracing();
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped_events\""), std::string::npos);
+  if (obs::kTraceCompiledIn) {
+    EXPECT_NE(json.find("\"test.outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  }
+}
+
+TEST_F(ObsTest, ThreadPoolJobEmitsLaneSpans) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  obs::arm_tracing();
+  ThreadPool pool(3);
+  pool.parallel_for_lanes(4, [](unsigned) {});
+  obs::disarm_tracing();
+  const auto events = obs::trace_snapshot();
+  EXPECT_EQ(events_named(events, "pool.job").size(), 1u);
+  const auto lanes = events_named(events, "pool.lane");
+  ASSERT_EQ(lanes.size(), 4u);
+  std::set<std::uint64_t> seen;
+  for (const auto& e : lanes) seen.insert(e.arg);
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{0, 1, 2, 3}));
+  EXPECT_EQ(events_named(events, "pool.barrier").size(), 1u);
+}
+
+TEST_F(ObsTest, ParallelMergeEmitsPartitionAndSegmentSpans) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  std::vector<int> a(4096), b(4096), out(8192);
+  for (int i = 0; i < 4096; ++i) {
+    a[static_cast<std::size_t>(i)] = 2 * i;
+    b[static_cast<std::size_t>(i)] = 2 * i + 1;
+  }
+  obs::arm_tracing();
+  ThreadPool pool(3);
+  parallel_merge(a.data(), a.size(), b.data(), b.size(), out.data(),
+                 Executor{&pool, 4});
+  obs::disarm_tracing();
+  const auto events = obs::trace_snapshot();
+  EXPECT_EQ(events_named(events, "merge").size(), 1u);
+  EXPECT_EQ(events_named(events, "merge.partition").size(), 4u);
+  EXPECT_EQ(events_named(events, "merge.segment").size(), 4u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST_F(ObsTest, MultiThreadedRecordingStress) {
+  // Many short spans from many threads into small rings: the TSan preset
+  // runs this to prove the hot path and the arm/snapshot control plane
+  // (under the quiescence contract) are race-free.
+  obs::arm_tracing(/*events_per_thread=*/128);
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    pool.parallel_for_lanes(8, [](unsigned lane) {
+      obs::Span span("stress.lane", "lane", lane);
+      obs::Span::counter("stress.count", lane);
+    });
+  }
+  obs::disarm_tracing();
+  const auto events = obs::trace_snapshot();
+  if (obs::kTraceCompiledIn) {
+    EXPECT_FALSE(events.empty());
+    EXPECT_GE(obs::trace_thread_count(), 1u);
+  }
+  std::ostringstream os;
+  obs::write_chrome_trace(os);
+  expect_balanced_json(os.str());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+
+TEST(MetricsRegistry, CounterGaugeHistogramRoundTrip) {
+  auto& registry = obs::MetricsRegistry::instance();
+  registry.reset();
+  auto& counter = registry.counter("test.ops");
+  counter.add();
+  counter.add(9);
+  EXPECT_EQ(counter.value(), 10u);
+  EXPECT_EQ(&registry.counter("test.ops"), &counter);  // stable reference
+
+  auto& gauge = registry.gauge("test.level");
+  gauge.set(-5);
+  gauge.add(2);
+  EXPECT_EQ(gauge.value(), -3);
+
+  auto& histogram = registry.histogram("test.sizes");
+  histogram.record(0);    // bucket 0
+  histogram.record(1);    // bucket 1
+  histogram.record(7);    // bucket 3: [4, 8)
+  histogram.record(8);    // bucket 4: [8, 16)
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.sum(), 16u);
+  EXPECT_EQ(histogram.bucket(0), 1u);
+  EXPECT_EQ(histogram.bucket(1), 1u);
+  EXPECT_EQ(histogram.bucket(3), 1u);
+  EXPECT_EQ(histogram.bucket(4), 1u);
+
+  std::ostringstream os;
+  registry.write_json(os);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"test.ops\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"test.level\":-3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.sizes\""), std::string::npos);
+
+  registry.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST(LaneMetrics, ImbalanceSummaryFromKnownTimes) {
+  auto& metrics = obs::LaneMetrics::instance();
+  metrics.reset();
+  metrics.record_job(2);
+  metrics.record_lane(0, 100);
+  metrics.record_lane(1, 300);
+  metrics.record_barrier_wait(40);
+  metrics.record_checkout(7);
+  const obs::LaneReport report = metrics.snapshot();
+  ASSERT_EQ(report.lanes.size(), 2u);
+  EXPECT_EQ(report.jobs, 1u);
+  EXPECT_EQ(report.barrier_waits, 1u);
+  EXPECT_EQ(report.barrier_ns, 40u);
+  EXPECT_EQ(report.checkouts, 1u);
+  EXPECT_EQ(report.checkout_ns, 7u);
+  EXPECT_EQ(report.lane_ns_max, 300u);
+  EXPECT_EQ(report.lane_ns_min, 100u);
+  EXPECT_DOUBLE_EQ(report.lane_ns_mean, 200.0);
+  EXPECT_DOUBLE_EQ(report.imbalance, 1.5);
+  metrics.reset();
+}
+
+TEST(LaneMetrics, OpCountsAggregateAcrossLanesAndRuns) {
+  auto& metrics = obs::LaneMetrics::instance();
+  metrics.reset();
+  OpCounts ops0;
+  ops0.compare(10);
+  ops0.move(20);
+  ops0.search_step();
+  OpCounts ops1;
+  ops1.compare(5);
+  ops1.stage(3);
+  metrics.record_ops(0, ops0);
+  metrics.record_ops(1, ops1);
+  metrics.record_ops(0, ops0);  // second run accumulates
+  const obs::LaneReport report = metrics.snapshot();
+  ASSERT_EQ(report.lanes.size(), 2u);
+  EXPECT_EQ(report.lanes[0].compares, 20u);
+  EXPECT_EQ(report.lanes[0].moves, 40u);
+  EXPECT_EQ(report.lanes[0].search_steps, 2u);
+  EXPECT_EQ(report.lanes[1].compares, 5u);
+  EXPECT_EQ(report.lanes[1].stages, 3u);
+  metrics.reset();
+}
+
+TEST(LaneMetrics, LaneIndexAboveCapFoldsIntoLastSlot) {
+  auto& metrics = obs::LaneMetrics::instance();
+  metrics.reset();
+  metrics.record_lane(obs::kMaxMetricLanes + 50, 10);
+  const obs::LaneReport report = metrics.snapshot();
+  ASSERT_EQ(report.lanes.size(), 1u);
+  EXPECT_EQ(report.lanes[0].lane, obs::kMaxMetricLanes - 1);
+  metrics.reset();
+}
+
+TEST(LaneMetrics, ArmedPoolRunRecordsLaneTimesAndBarrier) {
+  auto& metrics = obs::LaneMetrics::instance();
+  metrics.arm();
+  ThreadPool pool(3);
+  std::atomic<unsigned> ran{0};
+  pool.parallel_for_lanes(4, [&](unsigned) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  metrics.disarm();
+  EXPECT_EQ(ran.load(), 4u);
+  const obs::LaneReport report = metrics.snapshot();
+  EXPECT_EQ(report.jobs, 1u);
+  EXPECT_EQ(report.barrier_waits, 1u);
+  ASSERT_EQ(report.lanes.size(), 4u);
+  for (const auto& row : report.lanes) EXPECT_EQ(row.runs, 1u);
+  EXPECT_GE(report.imbalance, 1.0);
+
+  std::ostringstream os;
+  report.write_json(os);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"schema\":\"mergepath-lane-metrics-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"imbalance\""), std::string::npos);
+  metrics.reset();
+}
+
+TEST(LaneMetrics, CombinedMetricsJsonHasBothSections) {
+  std::ostringstream os;
+  obs::write_metrics_json(os);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"lane_report\""), std::string::npos);
+  EXPECT_NE(json.find("\"registry\""), std::string::npos);
+}
+
+}  // namespace

@@ -10,16 +10,25 @@
 // inputs to be pre-sorted (verified up front) and k-way merges them with
 // the parallel multiway merge; `sort` uses the parallel merge sort;
 // `check` verifies order and reports the first violation.
+//
+// Observability (docs/OBSERVABILITY.md): --trace writes a Chrome/Perfetto
+// trace_event JSON of the run's lane spans; --metrics prints the per-lane
+// balance table to stderr; --metrics-json writes the machine-readable
+// metrics report.
 
 #include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/mergepath.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -30,15 +39,23 @@ using namespace mp;
   std::cerr <<
       "usage:\n"
       "  mpsort sort  <input> <output> [--binary] [--numeric] [--threads N]\n"
-      "  mpsort merge <output> <in1> <in2> [...] [--binary] [--threads N]\n"
-      "  mpsort check <input> [--binary] [--numeric]\n";
+      "  mpsort merge <output> <in1> <in2> [...] [--binary] [--numeric]\n"
+      "               [--threads N]\n"
+      "  mpsort check <input> [--binary] [--numeric]\n"
+      "observability (any command):\n"
+      "  --trace <file.json>    write a Chrome/Perfetto trace of the run\n"
+      "  --metrics              print the per-lane balance table to stderr\n"
+      "  --metrics-json <file>  write the metrics report as JSON\n";
   std::exit(2);
 }
 
 struct Options {
   bool binary = false;
   bool numeric = false;
+  bool metrics = false;
   unsigned threads = 0;
+  std::string trace_path;
+  std::string metrics_json;
   std::vector<std::string> files;
 };
 
@@ -50,9 +67,30 @@ Options parse(int argc, char** argv, int first) {
       opt.binary = true;
     } else if (arg == "--numeric") {
       opt.numeric = true;
+    } else if (arg == "--metrics") {
+      opt.metrics = true;
+    } else if (arg == "--trace") {
+      if (++i >= argc) usage();
+      opt.trace_path = argv[i];
+    } else if (arg == "--metrics-json") {
+      if (++i >= argc) usage();
+      opt.metrics_json = argv[i];
     } else if (arg == "--threads") {
       if (++i >= argc) usage();
-      opt.threads = static_cast<unsigned>(std::stoul(argv[i]));
+      // std::stoul aborts the process on bad input if the exception
+      // escapes main; turn "--threads banana" into a usage error instead.
+      try {
+        std::size_t parsed = 0;
+        const unsigned long v = std::stoul(argv[i], &parsed);
+        if (parsed != std::string(argv[i]).size() ||
+            v > std::numeric_limits<unsigned>::max())
+          throw std::out_of_range(argv[i]);
+        opt.threads = static_cast<unsigned>(v);
+      } catch (const std::exception&) {
+        std::cerr << "--threads expects a non-negative integer, got '"
+                  << argv[i] << "'\n";
+        usage();
+      }
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag " << arg << "\n";
       usage();
@@ -124,9 +162,18 @@ struct NumericLess {
 template <typename T, typename Comp>
 int run_sort(const Options& opt, std::vector<T> data, Comp comp,
              auto write_fn) {
+  const Executor exec{nullptr, opt.threads};
   Timer timer;
-  parallel_merge_sort(data.data(), data.size(),
-                      Executor{nullptr, opt.threads}, comp);
+  if (obs::lane_metrics_armed()) {
+    std::vector<OpCounts> ops(exec.resolve_threads());
+    parallel_merge_sort(data.data(), data.size(), exec, comp,
+                        std::span<OpCounts>(ops));
+    for (std::size_t lane = 0; lane < ops.size(); ++lane)
+      obs::LaneMetrics::instance().record_ops(static_cast<unsigned>(lane),
+                                              ops[lane]);
+  } else {
+    parallel_merge_sort(data.data(), data.size(), exec, comp);
+  }
   std::cerr << "sorted " << data.size() << " records in "
             << timer.seconds() * 1e3 << " ms\n";
   write_fn(opt.files[1], data);
@@ -149,10 +196,20 @@ int run_merge(const Options& opt, std::vector<std::vector<T>> inputs,
     total += in.size();
   }
   std::vector<T> merged(total);
+  const Executor exec{nullptr, opt.threads};
   Timer timer;
-  parallel_multiway_merge(std::span<const std::span<const T>>(views),
-                          merged.data(), Executor{nullptr, opt.threads},
-                          comp);
+  if (obs::lane_metrics_armed()) {
+    std::vector<OpCounts> ops(exec.resolve_threads());
+    parallel_multiway_merge(std::span<const std::span<const T>>(views),
+                            merged.data(), exec, comp,
+                            std::span<OpCounts>(ops));
+    for (std::size_t lane = 0; lane < ops.size(); ++lane)
+      obs::LaneMetrics::instance().record_ops(static_cast<unsigned>(lane),
+                                              ops[lane]);
+  } else {
+    parallel_multiway_merge(std::span<const std::span<const T>>(views),
+                            merged.data(), exec, comp);
+  }
   std::cerr << "merged " << inputs.size() << " inputs, " << total
             << " records in " << timer.seconds() * 1e3 << " ms\n";
   write_fn(opt.files[0], merged);
@@ -173,13 +230,7 @@ int run_check(const std::string& path, const std::vector<T>& data,
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 3) usage();
-  const std::string command = argv[1];
-  const Options opt = parse(argc, argv, 2);
-
+int run_command(const std::string& command, const Options& opt) {
   if (command == "sort") {
     if (opt.files.size() != 2) usage();
     if (opt.binary)
@@ -202,6 +253,8 @@ int main(int argc, char** argv) {
     std::vector<std::vector<std::string>> inputs;
     for (std::size_t f = 1; f < opt.files.size(); ++f)
       inputs.push_back(read_lines(opt.files[f]));
+    if (opt.numeric)
+      return run_merge(opt, std::move(inputs), NumericLess{}, write_lines);
     return run_merge(opt, std::move(inputs), std::less<>{}, write_lines);
   }
   if (command == "check") {
@@ -215,4 +268,49 @@ int main(int argc, char** argv) {
     return run_check(opt.files[0], read_lines(opt.files[0]), std::less<>{});
   }
   usage();
+}
+
+/// Disarms the recorders and writes the requested artifacts. Runs after
+/// the command returns, when all instrumented work is quiescent.
+void finalize_observability(const Options& opt) {
+  if (!opt.trace_path.empty()) {
+    obs::disarm_tracing();
+    if (!obs::kTraceCompiledIn)
+      std::cerr << "mpsort: tracing compiled out (MERGEPATH_TRACE=OFF); "
+                   "writing an empty trace\n";
+    obs::write_chrome_trace_file(opt.trace_path);
+    std::cerr << "trace written to " << opt.trace_path << "\n";
+  }
+  if (opt.metrics || !opt.metrics_json.empty()) {
+    obs::LaneMetrics::instance().disarm();
+    if (opt.metrics) {
+      const obs::LaneReport report = obs::LaneMetrics::instance().snapshot();
+      report.to_table().print(std::cerr);
+      std::cerr << "jobs " << report.jobs << ", barrier waits "
+                << report.barrier_waits << " (" << report.barrier_ns
+                << " ns), checkouts " << report.checkouts << " ("
+                << report.checkout_ns << " ns)\n"
+                << "lane time max/mean imbalance "
+                << report.imbalance << "\n";
+    }
+    if (!opt.metrics_json.empty() &&
+        obs::write_metrics_json_file(opt.metrics_json))
+      std::cerr << "metrics written to " << opt.metrics_json << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) usage();
+  const std::string command = argv[1];
+  const Options opt = parse(argc, argv, 2);
+
+  if (opt.metrics || !opt.metrics_json.empty())
+    obs::LaneMetrics::instance().arm();
+  if (!opt.trace_path.empty()) obs::arm_tracing();
+
+  const int rc = run_command(command, opt);
+  finalize_observability(opt);
+  return rc;
 }
