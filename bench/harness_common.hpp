@@ -71,8 +71,13 @@ struct Harness {
     }
   }
 
-  /// Call after the last flag read; aborts on unconsumed (typo'd) flags.
+  /// Call after the last flag read; aborts on malformed values and on
+  /// unconsumed (typo'd) flags.
   void check_flags() const {
+    if (!cli.ok()) {
+      std::cerr << "error: " << cli.error() << "\n";
+      std::exit(2);
+    }
     const auto leftover = cli.unconsumed();
     if (!leftover.empty()) {
       std::cerr << "error: unknown flag(s):";

@@ -3,6 +3,7 @@
 
 Usage:
     check_trace.py TRACE.json [--metrics METRICS.json ...] [--min-events N]
+                   [--require-known-names]
 
 TRACE.json is a Chrome/Perfetto trace_event file written by
 `mpsort --trace` or a bench harness's `--trace` flag; each --metrics
@@ -17,6 +18,10 @@ argument is a metrics report written by `--metrics-json` /
            the op-count channels; the lane_time summary is present and
            self-consistent (max >= min, imbalance >= 1 when any lane
            recorded time).
+  names:   with --require-known-names, every non-metadata event name must
+           belong to the library's span taxonomy below, so a renamed or
+           typo'd span fails CI instead of silently vanishing from
+           dashboards.
 
 Exit status 0 on success, 1 with a diagnostic on the first failure.
 """
@@ -26,12 +31,37 @@ import json
 import sys
 
 
+# Every span/instant/counter name the library emits (docs/OBSERVABILITY.md).
+# Grouped by subsystem; extend this set in the same change that adds a span.
+KNOWN_NAMES = {
+    # thread pool
+    "pool.checkout", "pool.lane", "pool.job", "pool.barrier",
+    # two-array merge (core)
+    "merge", "merge.partition", "merge.segment",
+    # segmented (cache-aware) merge
+    "spm", "spm.fetch", "spm.segment", "spm.segment_len", "spm.flush",
+    # multiway merge
+    "mwm", "mwm.select", "mwm.merge", "mwm.sort", "mwm.block",
+    # in-memory merge sort
+    "sort", "sort.round", "sort.round_slice", "sort.partition",
+    "sort.block", "sort.copyback",
+    # streaming merger
+    "stream.pull", "stream.push",
+    # external-memory sort (extmem)
+    "xsort", "xsort.run", "xsort.pass", "xsort.merge", "xsort.retry",
+    # distributed merge (dist)
+    "dist.exchange", "dist.tree", "dist.gather", "dist.sort",
+    "dist.segment_retry",
+}
+
+
 def fail(msg: str) -> None:
     print(f"check_trace: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def check_trace(path: str, min_events: int) -> None:
+def check_trace(path: str, min_events: int,
+                require_known_names: bool = False) -> None:
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -95,6 +125,12 @@ def check_trace(path: str, min_events: int) -> None:
             stack.append((begin, end, name))
 
     names = sorted({e["name"] for e in payload})
+    if require_known_names:
+        unknown = [n for n in names if n not in KNOWN_NAMES]
+        if unknown:
+            fail(f"{path}: event name(s) outside the span taxonomy: "
+                 f"{', '.join(unknown)} (update KNOWN_NAMES and "
+                 f"docs/OBSERVABILITY.md together)")
     print(f"check_trace: {path}: OK "
           f"({len(payload)} events, {len(spans_by_tid)} thread(s), "
           f"names: {', '.join(names[:12])}{'...' if len(names) > 12 else ''})")
@@ -143,8 +179,10 @@ def main() -> None:
                         help="metrics JSON report(s) to validate")
     parser.add_argument("--min-events", type=int, default=1,
                         help="minimum non-metadata trace events")
+    parser.add_argument("--require-known-names", action="store_true",
+                        help="reject event names outside the span taxonomy")
     args = parser.parse_args()
-    check_trace(args.trace, args.min_events)
+    check_trace(args.trace, args.min_events, args.require_known_names)
     for path in args.metrics:
         check_metrics(path)
 

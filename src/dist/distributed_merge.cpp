@@ -6,6 +6,8 @@
 #include "core/merge_path.hpp"
 #include "core/multiway_merge.hpp"
 #include "core/sequential_merge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace mp::dist {
@@ -35,7 +37,8 @@ Location locate(std::size_t g, std::size_t total, unsigned ranks) {
 }
 
 /// Copies global range [lo, hi) out of a block-distributed array,
-/// recording one message per touched source shard.
+/// recording one message per touched source shard. Transfers run under
+/// the recovery protocol; throws NetError on a persistent partition.
 std::vector<std::int32_t> fetch_range(const DistArray& src, std::size_t lo,
                                       std::size_t hi, unsigned dst_rank,
                                       RankNetwork& net) {
@@ -49,14 +52,25 @@ std::vector<std::int32_t> fetch_range(const DistArray& src, std::size_t lo,
     const std::size_t shard_end =
         static_cast<std::size_t>(at.rank + 1) * total / ranks;
     const std::size_t take = std::min(hi, shard_end) - g;
+    net.reliable_send(at.rank, dst_rank, take * kElem);
     const auto& shard = src.shards[at.rank];
     out.insert(out.end(),
                shard.begin() + static_cast<std::ptrdiff_t>(at.offset),
                shard.begin() + static_cast<std::ptrdiff_t>(at.offset + take));
-    net.send(at.rank, dst_rank, take * kElem);
     g += take;
   }
   return out;
+}
+
+/// Publishes the run's fault/recovery counters into the metrics registry
+/// (all-zero stats publish nothing, keeping fault-free runs silent).
+void flush_net_metrics(const NetStats& net) {
+  auto& registry = obs::MetricsRegistry::instance();
+  if (net.faults_injected > 0)
+    registry.counter("dist.faults").add(net.faults_injected);
+  if (net.resends > 0) registry.counter("dist.resends").add(net.resends);
+  if (net.dedup_discards > 0)
+    registry.counter("dist.dedup_discards").add(net.dedup_discards);
 }
 
 }  // namespace
@@ -87,6 +101,7 @@ DistMergeResult merge_path_exchange(const DistArray& a, const DistArray& b,
                                     const NetConfig& config) {
   MP_CHECK(a.shards.size() == b.shards.size());
   const auto ranks = static_cast<unsigned>(a.shards.size());
+  obs::Span span("dist.exchange", "ranks", ranks);
   RankNetwork net(ranks, config);
   const auto flat_a = a.gathered();  // stands in for remote probe reads
   const auto flat_b = b.gathered();
@@ -109,28 +124,41 @@ DistMergeResult merge_path_exchange(const DistArray& a, const DistArray& b,
       // Probe touches one element of A and one of B at data-dependent
       // owners; charge from a representative owner (probe position is
       // data-dependent; owner spread does not change totals).
-      net.send((r + static_cast<unsigned>(s)) % ranks, r, 2 * 8);
+      net.reliable_send((r + static_cast<unsigned>(s)) % ranks, r, 2 * 8);
     }
   }
   net.end_round();
 
   // Round 2: the single personalized exchange — rank r pulls exactly the
-  // A and B fragments its output slice needs, then merges locally.
+  // A and B fragments its output slice needs, then merges locally. A
+  // NetError inside one rank's pull retries that rank's WHOLE segment
+  // (Theorem 14: segments are disjoint, so the re-fetch touches no other
+  // rank's output); a partition outliving segment_retries propagates.
   DistMergeResult result;
   result.merged.shards.resize(ranks);
   for (unsigned r = 0; r < ranks; ++r) {
     const PathPoint lo = cuts[r];
     const PathPoint hi = cuts[r + 1];
-    const auto frag_a = fetch_range(a, lo.i, hi.i, r, net);
-    const auto frag_b = fetch_range(b, lo.j, hi.j, r, net);
-    auto& out = result.merged.shards[r];
-    out.resize(frag_a.size() + frag_b.size());
-    std::size_t i = 0, j = 0;
-    merge_steps(frag_a.data(), frag_a.size(), frag_b.data(), frag_b.size(),
-                &i, &j, out.data(), out.size());
+    for (unsigned attempt = 0;; ++attempt) {
+      try {
+        const auto frag_a = fetch_range(a, lo.i, hi.i, r, net);
+        const auto frag_b = fetch_range(b, lo.j, hi.j, r, net);
+        auto& out = result.merged.shards[r];
+        out.resize(frag_a.size() + frag_b.size());
+        std::size_t i = 0, j = 0;
+        merge_steps(frag_a.data(), frag_a.size(), frag_b.data(),
+                    frag_b.size(), &i, &j, out.data(), out.size());
+        break;
+      } catch (const NetError&) {
+        if (attempt >= net.config().segment_retries) throw;
+        obs::Span::instant("dist.segment_retry", "rank", r);
+        result.merged.shards[r].clear();
+      }
+    }
   }
   net.end_round();
   result.net = net.stats();
+  flush_net_metrics(result.net);
   return result;
 }
 
@@ -138,6 +166,7 @@ DistMergeResult tree_merge(const DistArray& a, const DistArray& b,
                            const NetConfig& config) {
   MP_CHECK(a.shards.size() == b.shards.size());
   const auto ranks = static_cast<unsigned>(a.shards.size());
+  obs::Span span("dist.tree", "ranks", ranks);
   RankNetwork net(ranks, config);
 
   // Each rank first merges its local A and B shards (no traffic). Note
@@ -155,7 +184,7 @@ DistMergeResult tree_merge(const DistArray& a, const DistArray& b,
   for (unsigned stride = 1; stride < ranks; stride <<= 1) {
     for (unsigned r = 0; r + stride < ranks; r += 2 * stride) {
       const unsigned src = r + stride;
-      net.send(src, r, runs[src].size() * kElem);
+      net.reliable_send(src, r, runs[src].size() * kElem);
       std::vector<std::int32_t> merged(runs[r].size() + runs[src].size());
       std::size_t i = 0, j = 0;
       merge_steps(runs[r].data(), runs[r].size(), runs[src].data(),
@@ -176,10 +205,11 @@ DistMergeResult tree_merge(const DistArray& a, const DistArray& b,
     result.merged.shards[r].assign(
         runs[0].begin() + static_cast<std::ptrdiff_t>(lo),
         runs[0].begin() + static_cast<std::ptrdiff_t>(hi));
-    net.send(0, r, (hi - lo) * kElem);
+    net.reliable_send(0, r, (hi - lo) * kElem);
   }
   net.end_round();
   result.net = net.stats();
+  flush_net_metrics(result.net);
   return result;
 }
 
@@ -187,10 +217,11 @@ DistMergeResult gather_at_root(const DistArray& a, const DistArray& b,
                                const NetConfig& config) {
   MP_CHECK(a.shards.size() == b.shards.size());
   const auto ranks = static_cast<unsigned>(a.shards.size());
+  obs::Span span("dist.gather", "ranks", ranks);
   RankNetwork net(ranks, config);
 
   for (unsigned r = 1; r < ranks; ++r) {
-    net.send(r, 0, (a.shards[r].size() + b.shards[r].size()) * kElem);
+    net.reliable_send(r, 0, (a.shards[r].size() + b.shards[r].size()) * kElem);
   }
   net.end_round();
 
@@ -204,15 +235,17 @@ DistMergeResult gather_at_root(const DistArray& a, const DistArray& b,
   DistMergeResult result;
   result.merged = distribute(merged, ranks);
   for (unsigned r = 1; r < ranks; ++r)
-    net.send(0, r, result.merged.shards[r].size() * kElem);
+    net.reliable_send(0, r, result.merged.shards[r].size() * kElem);
   net.end_round();
   result.net = net.stats();
+  flush_net_metrics(result.net);
   return result;
 }
 
 DistMergeResult distributed_sort(const DistArray& unsorted,
                                  const NetConfig& config) {
   const auto ranks = static_cast<unsigned>(unsorted.shards.size());
+  obs::Span span("dist.sort", "ranks", ranks);
   RankNetwork net(ranks, config);
 
   // Local sorts (no traffic).
@@ -246,8 +279,8 @@ DistMergeResult distributed_sort(const DistArray& unsorted,
       for (unsigned driver = 1; driver < ranks; ++driver) {
         for (unsigned src = 0; src < ranks; ++src) {
           if (src == driver) continue;
-          net.send(driver, src, 8);  // pivot
-          net.send(src, driver, 8);  // local rank count
+          net.reliable_send(driver, src, 8);  // pivot
+          net.reliable_send(src, driver, 8);  // local rank count
         }
       }
       net.end_round();
@@ -263,10 +296,10 @@ DistMergeResult distributed_sort(const DistArray& unsorted,
       const std::size_t lo = bounds[dst][src];
       const std::size_t hi = bounds[dst + 1][src];
       if (lo == hi) continue;
+      net.reliable_send(src, dst, (hi - lo) * kElem);
       fragments[src].assign(
           runs[src].begin() + static_cast<std::ptrdiff_t>(lo),
           runs[src].begin() + static_cast<std::ptrdiff_t>(hi));
-      net.send(src, dst, (hi - lo) * kElem);
     }
     std::vector<LoserTree<std::int32_t>::Cursor> cursors(ranks);
     std::size_t out_size = 0;
@@ -282,6 +315,7 @@ DistMergeResult distributed_sort(const DistArray& unsorted,
   }
   net.end_round();
   result.net = net.stats();
+  flush_net_metrics(result.net);
   return result;
 }
 

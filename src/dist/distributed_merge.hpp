@@ -18,6 +18,16 @@
 ///
 /// All three really move the data between per-rank vectors (correctness is
 /// testable), with every transfer priced by the RankNetwork.
+///
+/// Fault behaviour: when the NetConfig carries a fault::FaultPlan, every
+/// transfer goes through RankNetwork::reliable_send — drops are resent,
+/// duplicates discarded by sequence number, reordering absorbed — so the
+/// merged result is byte-identical to the fault-free run. merge_path
+/// additionally retries a whole rank segment after a NetError (up to
+/// NetConfig::segment_retries): output segments are disjoint (the paper's
+/// Theorem 14), so re-fetching one rank's fragments cannot corrupt any
+/// other rank's output. A partition that outlives every retry surfaces as
+/// the typed NetError, never an abort.
 
 #include <cstdint>
 #include <vector>

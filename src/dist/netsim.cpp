@@ -4,26 +4,116 @@
 
 namespace mp::dist {
 
+const char* to_string(Delivery delivery) {
+  switch (delivery) {
+    case Delivery::kOk: return "ok";
+    case Delivery::kDropped: return "dropped";
+    case Delivery::kDuplicated: return "duplicated";
+    case Delivery::kReordered: return "reordered";
+  }
+  return "?";
+}
+
+NetError::NetError(unsigned src, unsigned dst, const std::string& what)
+    : fault::FaultError(fault::FaultKind::kPartition, what),
+      src_(src),
+      dst_(dst) {}
+
 RankNetwork::RankNetwork(unsigned ranks, const NetConfig& config)
     : config_(config),
+      faults_(config.faults),
       port_send_(ranks, 0.0),
       port_recv_(ranks, 0.0),
       recv_bytes_total_(ranks, 0) {
   MP_CHECK(ranks >= 1);
 }
 
-void RankNetwork::send(unsigned src, unsigned dst, std::uint64_t bytes) {
+fault::FaultKind RankNetwork::inject(unsigned src, unsigned dst) {
+  if constexpr (fault::kFaultCompiledIn) {
+    if (faults_ == nullptr) return fault::FaultKind::kNone;
+    const fault::FaultKind kind = faults_->decide_send(src, dst);
+    if (kind != fault::FaultKind::kNone) ++stats_.faults_injected;
+    return kind;
+  } else {
+    static_cast<void>(src);
+    static_cast<void>(dst);
+    return fault::FaultKind::kNone;
+  }
+}
+
+Delivery RankNetwork::send(unsigned src, unsigned dst, std::uint64_t bytes) {
   MP_CHECK(src < ranks() && dst < ranks());
-  if (src == dst) return;  // local move, no network cost
+  if (src == dst) return Delivery::kOk;  // local move, no network cost
   round_open_ = true;
   const double cost =
       config_.alpha_us +
       static_cast<double>(bytes) / config_.beta_bytes_per_us;
+  switch (inject(src, dst)) {
+    case fault::FaultKind::kDrop:
+    case fault::FaultKind::kPartition:
+      // The sender's NIC pushed the bytes; they just never arrive.
+      port_send_[src] += cost;
+      ++stats_.drops;
+      return Delivery::kDropped;
+    case fault::FaultKind::kDuplicate:
+      // Both copies traverse the link and land on the receiver.
+      port_send_[src] += 2.0 * cost;
+      port_recv_[dst] += 2.0 * cost;
+      ++stats_.messages;
+      stats_.bytes += bytes;
+      recv_bytes_total_[dst] += bytes;
+      ++stats_.duplicates;
+      return Delivery::kDuplicated;
+    case fault::FaultKind::kReorder:
+      // Delivered, but late: the receiver buffers it past other traffic.
+      port_send_[src] += cost;
+      port_recv_[dst] += cost + config_.alpha_us;
+      ++stats_.messages;
+      stats_.bytes += bytes;
+      recv_bytes_total_[dst] += bytes;
+      ++stats_.reorders;
+      return Delivery::kReordered;
+    default:
+      break;
+  }
   port_send_[src] += cost;
   port_recv_[dst] += cost;
   ++stats_.messages;
   stats_.bytes += bytes;
   recv_bytes_total_[dst] += bytes;
+  return Delivery::kOk;
+}
+
+void RankNetwork::reliable_send(unsigned src, unsigned dst,
+                                std::uint64_t bytes) {
+  unsigned resends = 0;
+  for (;;) {
+    switch (send(src, dst, bytes)) {
+      case Delivery::kOk:
+        return;
+      case Delivery::kDuplicated:
+        // The receiver's sequence numbers identify the second copy; it is
+        // discarded on arrival. The wasted port time is already charged.
+        ++stats_.dedup_discards;
+        return;
+      case Delivery::kReordered:
+        // Receiver-side buffering reassembles order; charged in send().
+        return;
+      case Delivery::kDropped:
+        // No ack before the timeout: charge one alpha for the timeout on
+        // the sender's port and retransmit.
+        if (resends >= config_.max_resend)
+          throw NetError(src, dst,
+                         "rank " + std::to_string(src) + " -> rank " +
+                             std::to_string(dst) + ": no ack after " +
+                             std::to_string(resends) +
+                             " resends (link partitioned?)");
+        port_send_[src] += config_.alpha_us;
+        ++stats_.resends;
+        ++resends;
+        break;
+    }
+  }
 }
 
 void RankNetwork::end_round() {

@@ -1,14 +1,71 @@
 #include "extmem/block_device.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace mp::extmem {
+
+const char* to_string(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk: return "ok";
+    case IoStatus::kInterrupted: return "interrupted";
+    case IoStatus::kShortTransfer: return "short transfer";
+    case IoStatus::kNoSpace: return "no space";
+    case IoStatus::kMediaError: return "media error";
+  }
+  return "?";
+}
+
+namespace {
+
+fault::FaultKind status_kind(IoStatus status) {
+  switch (status) {
+    case IoStatus::kInterrupted: return fault::FaultKind::kTransient;
+    case IoStatus::kShortTransfer: return fault::FaultKind::kShort;
+    case IoStatus::kNoSpace: return fault::FaultKind::kNoSpace;
+    case IoStatus::kMediaError: return fault::FaultKind::kMedia;
+    case IoStatus::kOk: break;
+  }
+  return fault::FaultKind::kNone;
+}
+
+}  // namespace
+
+IoError::IoError(IoStatus status, std::uint64_t block,
+                 const std::string& what)
+    : fault::FaultError(status_kind(status), what),
+      status_(status),
+      block_(block) {}
 
 BlockDevice::BlockDevice(const DeviceConfig& config) : config_(config) {
   MP_CHECK(config_.block_bytes > 0);
 }
 
+fault::FaultKind BlockDevice::inject(fault::OpClass op) {
+  if constexpr (fault::kFaultCompiledIn) {
+    if (faults_ == nullptr) return fault::FaultKind::kNone;
+    const fault::FaultKind kind = faults_->decide(op);
+    if (kind == fault::FaultKind::kNone) return kind;
+    ++stats_.faults_injected;
+    if (kind == fault::FaultKind::kLatency)
+      charge_latency(faults_->latency_us());
+    return kind;
+  } else {
+    static_cast<void>(op);
+    return fault::FaultKind::kNone;
+  }
+}
+
 std::uint64_t BlockDevice::allocate(std::uint64_t count) {
+  if (inject(fault::OpClass::kAllocate) == fault::FaultKind::kNoSpace)
+    throw IoError(IoStatus::kNoSpace, store_.size(),
+                  "injected ENOSPC allocating " + std::to_string(count) +
+                      " block(s)");
+  if (config_.max_blocks != 0 && store_.size() + count > config_.max_blocks)
+    throw IoError(IoStatus::kNoSpace, store_.size(),
+                  "device full: " + std::to_string(store_.size()) + " of " +
+                      std::to_string(config_.max_blocks) +
+                      " blocks allocated");
   const std::uint64_t first = store_.size();
   store_.resize(store_.size() + count);
   return first;
@@ -22,31 +79,83 @@ void BlockDevice::note_access(std::uint64_t block) {
   bytes_moved_ += config_.block_bytes;
 }
 
-void BlockDevice::write_block(std::uint64_t block, const void* data,
-                              std::uint32_t bytes) {
+IoStatus BlockDevice::try_write_block(std::uint64_t block, const void* data,
+                                      std::uint32_t bytes) {
   MP_CHECK(block < store_.size());
   MP_CHECK(bytes <= config_.block_bytes);
   auto& slot = store_[block];
+  switch (inject(fault::OpClass::kWrite)) {
+    case fault::FaultKind::kTransient:
+      note_access(block);  // the failed attempt still moved the head
+      return IoStatus::kInterrupted;
+    case fault::FaultKind::kShort: {
+      // A prefix reached the medium but the block is not durable: leave
+      // the slot unwritten so a reader cannot see the torn state.
+      ++stats_.short_transfers;
+      if (!slot.empty()) {
+        --live_blocks_;
+        std::vector<std::uint8_t>().swap(slot);
+      }
+      note_access(block);
+      return IoStatus::kShortTransfer;
+    }
+    case fault::FaultKind::kNoSpace:
+      return IoStatus::kNoSpace;
+    case fault::FaultKind::kMedia:
+      return IoStatus::kMediaError;
+    default:
+      break;
+  }
+  if (slot.empty()) ++live_blocks_;
   slot.assign(config_.block_bytes, 0);
   std::memcpy(slot.data(), data, bytes);
   ++stats_.block_writes;
   note_access(block);
+  return IoStatus::kOk;
 }
 
-void BlockDevice::read_block(std::uint64_t block, void* data,
-                             std::uint32_t bytes) {
+IoStatus BlockDevice::try_read_block(std::uint64_t block, void* data,
+                                     std::uint32_t bytes) {
   MP_CHECK(block < store_.size());
   MP_CHECK(bytes <= config_.block_bytes);
   const auto& slot = store_[block];
   MP_CHECK(!slot.empty());  // reading a never-written block
+  switch (inject(fault::OpClass::kRead)) {
+    case fault::FaultKind::kTransient:
+      note_access(block);
+      return IoStatus::kInterrupted;
+    case fault::FaultKind::kShort:
+      ++stats_.short_transfers;
+      note_access(block);
+      return IoStatus::kShortTransfer;
+    case fault::FaultKind::kNoSpace:  // not meaningful for reads; treat as EIO
+    case fault::FaultKind::kMedia:
+      return IoStatus::kMediaError;
+    default:
+      break;
+  }
   std::memcpy(data, slot.data(), bytes);
   ++stats_.block_reads;
   note_access(block);
+  return IoStatus::kOk;
+}
+
+void BlockDevice::release_blocks(std::uint64_t first, std::uint64_t count) {
+  const std::uint64_t end =
+      std::min<std::uint64_t>(first + count, store_.size());
+  for (std::uint64_t b = first; b < end; ++b) {
+    auto& slot = store_[b];
+    if (slot.empty()) continue;
+    std::vector<std::uint8_t>().swap(slot);
+    --live_blocks_;
+    ++stats_.blocks_released;
+  }
 }
 
 double BlockDevice::modeled_io_us() const {
   return static_cast<double>(stats_.seeks) * config_.seek_us +
-         static_cast<double>(bytes_moved_) / config_.bandwidth_bytes_per_us;
+         static_cast<double>(bytes_moved_) / config_.bandwidth_bytes_per_us +
+         fault_latency_us_;
 }
 
 }  // namespace mp::extmem

@@ -15,6 +15,16 @@
 ///    O(N/B · log_{M/B}(N/M)) block transfers, which the experiment
 ///    harness (bench/table_external_io) checks against the measured
 ///    device statistics.
+///
+/// Fault behaviour (src/fault): every device transfer runs under the
+/// bounded retry-with-backoff policy in config.retry, so transient faults
+/// (EINTR, short transfers, injected latency) are absorbed and the sort
+/// still produces the byte-exact stable result. Permanent faults (ENOSPC,
+/// media errors, exhausted retries) surface as the typed IoError — and on
+/// the way out every temporary run created so far is released, so a
+/// failed sort leaves the device holding exactly the caller's input.
+/// Merged source runs are also released after each pass, bounding the
+/// device's live footprint at ~2x the data instead of one copy per pass.
 
 #include <cstdint>
 #include <queue>
@@ -23,6 +33,8 @@
 #include "core/merge_sort.hpp"
 #include "extmem/block_device.hpp"
 #include "extmem/run_file.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/threading.hpp"
 
@@ -35,6 +47,8 @@ struct ExternalSortConfig {
   std::size_t fan_in = 0;
   /// Executor for the in-memory chunk sorts.
   Executor exec;
+  /// Bounded retry for transient device faults (see run_file.hpp).
+  fault::RetryPolicy retry;
 
   template <typename T>
   std::size_t resolve_fan_in(const BlockDevice& device) const {
@@ -51,17 +65,24 @@ struct ExternalSortReport {
   std::size_t fan_in = 0;
   DeviceStats io;            ///< device stats delta for the whole sort
   double modeled_io_us = 0;  ///< device-model time for the whole sort
+  std::uint64_t io_retries = 0;      ///< transient faults absorbed by retry
+  std::uint64_t faults_injected = 0; ///< injected faults (all kinds), delta
 };
 
 namespace detail {
 
 /// Merges `runs` (stably, lower run index wins ties) into one run.
+/// Transient-fault retries are accumulated into *retries. On a permanent
+/// fault the partially written output run is abandoned (blocks released)
+/// before the IoError propagates.
 template <typename T, typename Comp>
 RunHandle merge_runs(BlockDevice& device, const std::vector<RunHandle>& runs,
-                     Comp comp) {
+                     Comp comp, const fault::RetryPolicy& retry,
+                     std::uint64_t* retries) {
+  obs::Span span("xsort.merge", "runs", runs.size());
   std::vector<RunReader<T>> readers;
   readers.reserve(runs.size());
-  for (const RunHandle& run : runs) readers.emplace_back(device, run);
+  for (const RunHandle& run : runs) readers.emplace_back(device, run, retry);
 
   struct Head {
     T value;
@@ -74,102 +95,172 @@ RunHandle merge_runs(BlockDevice& device, const std::vector<RunHandle>& runs,
     return x.run > y.run;  // stable: lower run index first
   };
   std::priority_queue<Head, std::vector<Head>, decltype(later)> heads(later);
-  for (std::size_t r = 0; r < readers.size(); ++r)
-    if (!readers[r].empty()) heads.push({readers[r].next(), r});
+  RunWriter<T> writer(device, retry);
+  try {
+    for (std::size_t r = 0; r < readers.size(); ++r)
+      if (!readers[r].empty()) heads.push({readers[r].next(), r});
 
-  RunWriter<T> writer(device);
-  while (!heads.empty()) {
-    const Head head = heads.top();
-    heads.pop();
-    writer.append(head.value);
-    if (!readers[head.run].empty())
-      heads.push({readers[head.run].next(), head.run});
+    while (!heads.empty()) {
+      const Head head = heads.top();
+      heads.pop();
+      writer.append(head.value);
+      if (!readers[head.run].empty())
+        heads.push({readers[head.run].next(), head.run});
+    }
+  } catch (const IoError&) {
+    writer.abandon();
+    throw;
   }
+  for (const RunReader<T>& reader : readers) *retries += reader.retries();
+  *retries += writer.retries();
   return writer.finish();
 }
 
 }  // namespace detail
 
 /// Sorts the `input` run into a new run on the same device. Stable.
+/// Throws IoError on a permanent device fault, after releasing every
+/// temporary run it created (the input run is the caller's and is kept).
 template <typename T, typename Comp = std::less<>>
 RunHandle external_sort(BlockDevice& device, RunHandle input,
                         const ExternalSortConfig& config = {},
                         ExternalSortReport* report = nullptr, Comp comp = {}) {
   const std::size_t per_block = device.config().block_bytes / sizeof(T);
   MP_CHECK(config.memory_elems >= 2 * per_block);
+  obs::Span sort_span("xsort", "n", input.element_count);
   const DeviceStats before = device.stats();
   const double io_before = device.modeled_io_us();
+  std::uint64_t retries = 0;
 
-  // Phase 1: run formation with in-memory parallel merge sorts.
+  // Phase 1: run formation with in-memory parallel merge sorts. On a
+  // permanent fault, release the runs formed so far plus the partial one.
   std::vector<RunHandle> runs;
-  {
-    RunReader<T> reader(device, input);
-    RunWriter<T> writer(device);
+  try {
+    RunReader<T> reader(device, input, config.retry);
+    RunWriter<T> writer(device, config.retry);
     std::vector<T> chunk;
     chunk.reserve(config.memory_elems);
-    while (!reader.empty()) {
-      chunk.clear();
-      while (!reader.empty() && chunk.size() < config.memory_elems)
-        chunk.push_back(reader.next());
-      parallel_merge_sort(chunk.data(), chunk.size(), config.exec, comp);
-      writer.append(chunk.data(), chunk.size());
-      runs.push_back(writer.finish());
+    try {
+      while (!reader.empty()) {
+        obs::Span run_span("xsort.run", "chunk", runs.size());
+        chunk.clear();
+        while (!reader.empty() && chunk.size() < config.memory_elems)
+          chunk.push_back(reader.next());
+        parallel_merge_sort(chunk.data(), chunk.size(), config.exec, comp);
+        writer.append(chunk.data(), chunk.size());
+        runs.push_back(writer.finish());
+      }
+    } catch (const IoError&) {
+      writer.abandon();
+      throw;
     }
+    retries += reader.retries() + writer.retries();
+  } catch (const IoError&) {
+    for (const RunHandle& run : runs) release_run<T>(device, run);
+    throw;
   }
   const std::size_t initial_runs = runs.size();
 
-  // Phase 2: fan-in-way merge passes.
+  // Phase 2: fan-in-way merge passes. Each group's source runs are
+  // released once merged (their data lives on in the output run); on a
+  // permanent fault the pass's outputs and the not-yet-merged sources are
+  // released — Theorem 14's segment disjointness is what makes this
+  // abandon-and-release safe: no other run shares the failed one's blocks.
   const std::size_t fan_in = config.resolve_fan_in<T>(device);
   std::size_t passes = 0;
   while (runs.size() > 1) {
+    obs::Span pass_span("xsort.pass", "runs", runs.size());
     std::vector<RunHandle> next;
-    for (std::size_t g = 0; g < runs.size(); g += fan_in) {
-      const std::size_t end = std::min(g + fan_in, runs.size());
-      if (end - g == 1) {
-        next.push_back(runs[g]);  // singleton carries over, no I/O
-        continue;
+    std::size_t g = 0;
+    try {
+      for (; g < runs.size(); g += fan_in) {
+        const std::size_t end = std::min(g + fan_in, runs.size());
+        if (end - g == 1) {
+          next.push_back(runs[g]);  // singleton carries over, no I/O
+          continue;
+        }
+        const std::vector<RunHandle> group(
+            runs.begin() + static_cast<std::ptrdiff_t>(g),
+            runs.begin() + static_cast<std::ptrdiff_t>(end));
+        next.push_back(
+            detail::merge_runs<T>(device, group, comp, config.retry,
+                                  &retries));
+        for (const RunHandle& run : group) release_run<T>(device, run);
       }
-      next.push_back(detail::merge_runs<T>(
-          device,
-          std::vector<RunHandle>(runs.begin() + static_cast<std::ptrdiff_t>(g),
-                                 runs.begin() + static_cast<std::ptrdiff_t>(end)),
-          comp));
+    } catch (const IoError&) {
+      for (const RunHandle& run : next)
+        if (run.first_block != input.first_block) release_run<T>(device, run);
+      for (; g < runs.size(); ++g)
+        if (runs[g].first_block != input.first_block)
+          release_run<T>(device, runs[g]);
+      throw;
     }
     runs = std::move(next);
     ++passes;
   }
 
+  const DeviceStats after = device.stats();
   if (report) {
     report->initial_runs = initial_runs;
     report->merge_passes = passes;
     report->fan_in = fan_in;
-    const DeviceStats after = device.stats();
     report->io.block_reads = after.block_reads - before.block_reads;
     report->io.block_writes = after.block_writes - before.block_writes;
     report->io.seeks = after.seeks - before.seeks;
+    report->io.faults_injected =
+        after.faults_injected - before.faults_injected;
+    report->io.short_transfers =
+        after.short_transfers - before.short_transfers;
+    report->io.blocks_released =
+        after.blocks_released - before.blocks_released;
     report->modeled_io_us = device.modeled_io_us() - io_before;
+    report->io_retries = retries;
+    report->faults_injected = after.faults_injected - before.faults_injected;
   }
+  if (retries > 0)
+    obs::MetricsRegistry::instance().counter("extmem.retries").add(retries);
+  if (after.faults_injected > before.faults_injected)
+    obs::MetricsRegistry::instance().counter("extmem.faults").add(
+        after.faults_injected - before.faults_injected);
   return runs.empty() ? RunHandle{0, 0} : runs.front();
 }
 
 /// Convenience: round-trips a vector through the device (write input run,
-/// sort, read back). Returns the sorted data; fills `report` if given.
+/// sort, read back, release both runs). Returns the sorted data; fills
+/// `report` if given. On a permanent fault the input run is released too
+/// (the caller holds no handle), so failure leaves the device empty.
 template <typename T, typename Comp = std::less<>>
 std::vector<T> external_sort_vector(BlockDevice& device,
                                     const std::vector<T>& data,
                                     const ExternalSortConfig& config = {},
                                     ExternalSortReport* report = nullptr,
                                     Comp comp = {}) {
-  RunWriter<T> writer(device);
-  writer.append(data.data(), data.size());
-  const RunHandle input = writer.finish();
-  const RunHandle sorted =
-      external_sort<T>(device, input, config, report, comp);
-  std::vector<T> out;
-  out.reserve(data.size());
-  RunReader<T> reader(device, sorted);
-  while (!reader.empty()) out.push_back(reader.next());
-  return out;
+  RunWriter<T> writer(device, config.retry);
+  RunHandle input;
+  try {
+    writer.append(data.data(), data.size());
+    input = writer.finish();
+  } catch (const IoError&) {
+    writer.abandon();
+    throw;
+  }
+  RunHandle sorted;
+  try {
+    sorted = external_sort<T>(device, input, config, report, comp);
+    std::vector<T> out;
+    out.reserve(data.size());
+    RunReader<T> reader(device, sorted, config.retry);
+    while (!reader.empty()) out.push_back(reader.next());
+    release_run<T>(device, input);
+    if (sorted.first_block != input.first_block)
+      release_run<T>(device, sorted);
+    return out;
+  } catch (const IoError&) {
+    release_run<T>(device, input);
+    if (sorted.element_count > 0 && sorted.first_block != input.first_block)
+      release_run<T>(device, sorted);
+    throw;
+  }
 }
 
 }  // namespace mp::extmem

@@ -4,13 +4,25 @@
 /// readers with block-granular I/O. Element type is trivially copyable
 /// (the on-"disk" format is raw little-endian memory, as an internal
 /// sort-spill format would be).
+///
+/// Fault handling: both endpoints drive the device through its fallible
+/// try_* API with a bounded retry-with-backoff loop (fault::RetryPolicy).
+/// Transient faults (EINTR, short transfers) are retried with modeled
+/// exponential backoff charged to the device clock; permanent faults
+/// (ENOSPC, media errors) and exhausted retries surface as the typed
+/// IoError. A writer abandoned mid-run releases every block it flushed,
+/// so failed operations leave no garbage on the device.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <string>
 #include <type_traits>
 #include <vector>
 
 #include "extmem/block_device.hpp"
+#include "fault/fault.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace mp::extmem {
@@ -21,13 +33,45 @@ struct RunHandle {
   std::uint64_t element_count = 0;
 };
 
+namespace detail {
+
+/// Shared retry loop: attempts `op()` (returning IoStatus) up to
+/// max_attempts times, charging doubled modeled backoff between tries.
+/// Returns the number of retries performed; throws IoError on a permanent
+/// status or when attempts run out.
+template <typename Op>
+std::uint64_t retry_io(BlockDevice& device, const fault::RetryPolicy& retry,
+                       std::uint64_t block, const char* what, Op op) {
+  double backoff = retry.backoff_us;
+  const unsigned attempts = retry.max_attempts < 1 ? 1 : retry.max_attempts;
+  for (unsigned attempt = 1;; ++attempt) {
+    const IoStatus status = op();
+    if (status == IoStatus::kOk) return attempt - 1;
+    if (status == IoStatus::kNoSpace || status == IoStatus::kMediaError ||
+        attempt >= attempts)
+      throw IoError(status, block,
+                    std::string(what) + " block " + std::to_string(block) +
+                        ": " + to_string(status) +
+                        (status == IoStatus::kInterrupted ||
+                                 status == IoStatus::kShortTransfer
+                             ? " (retries exhausted)"
+                             : ""));
+    obs::Span::instant("xsort.retry", "block", block);
+    device.charge_latency(backoff);
+    backoff *= 2.0;
+  }
+}
+
+}  // namespace detail
+
 /// Streams elements out to freshly allocated blocks.
 template <typename T>
 class RunWriter {
   static_assert(std::is_trivially_copyable_v<T>);
 
  public:
-  explicit RunWriter(BlockDevice& device) : device_(&device) {
+  explicit RunWriter(BlockDevice& device, fault::RetryPolicy retry = {})
+      : device_(&device), retry_(retry) {
     buffer_.reserve(elems_per_block());
   }
 
@@ -51,26 +95,51 @@ class RunWriter {
     RunHandle handle{first_block_, written_};
     first_block_ = kUnset;
     written_ = 0;
+    blocks_flushed_ = 0;
     return handle;
   }
+
+  /// Abandons the in-progress run: drops buffered data and releases every
+  /// block already flushed for it. Recovery paths call this so a failed
+  /// sort leaves no partial run behind. The writer is reusable afterwards.
+  void abandon() {
+    buffer_.clear();
+    if (first_block_ != kUnset)
+      device_->release_blocks(first_block_, blocks_flushed_);
+    first_block_ = kUnset;
+    written_ = 0;
+    blocks_flushed_ = 0;
+  }
+
+  /// Transient-fault retries performed over this writer's lifetime.
+  std::uint64_t retries() const { return retries_; }
 
  private:
   static constexpr std::uint64_t kUnset = ~0ull;
 
   void flush_block() {
+    // allocate() may throw IoError(kNoSpace); the caller's recovery path
+    // abandons the writer, releasing earlier blocks of this run.
     const std::uint64_t block = device_->allocate(1);
     if (first_block_ == kUnset) first_block_ = block;
-    device_->write_block(block, buffer_.data(),
-                         static_cast<std::uint32_t>(buffer_.size() *
-                                                    sizeof(T)));
+    retries_ += detail::retry_io(
+        *device_, retry_, block, "write", [&] {
+          return device_->try_write_block(
+              block, buffer_.data(),
+              static_cast<std::uint32_t>(buffer_.size() * sizeof(T)));
+        });
+    ++blocks_flushed_;
     written_ += buffer_.size();
     buffer_.clear();
   }
 
   BlockDevice* device_;
+  fault::RetryPolicy retry_;
   std::vector<T> buffer_;
   std::uint64_t first_block_ = kUnset;
   std::uint64_t written_ = 0;
+  std::uint64_t blocks_flushed_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 /// Buffered sequential reader over a run. Holds one block in memory —
@@ -80,8 +149,9 @@ class RunReader {
   static_assert(std::is_trivially_copyable_v<T>);
 
  public:
-  RunReader(BlockDevice& device, RunHandle handle)
-      : device_(&device), handle_(handle) {
+  RunReader(BlockDevice& device, RunHandle handle,
+            fault::RetryPolicy retry = {})
+      : device_(&device), handle_(handle), retry_(retry) {
     buffer_.resize(elems_per_block());
   }
 
@@ -105,14 +175,21 @@ class RunReader {
     return value;
   }
 
+  /// Transient-fault retries performed over this reader's lifetime.
+  std::uint64_t retries() const { return retries_; }
+
  private:
   void refill_if_needed() {
     if (cursor_ < valid_) return;
     const std::uint64_t block_index = consumed_ / elems_per_block();
     const std::uint64_t in_block = consumed_ % elems_per_block();
-    device_->read_block(handle_.first_block + block_index, buffer_.data(),
-                        static_cast<std::uint32_t>(buffer_.size() *
-                                                   sizeof(T)));
+    const std::uint64_t block = handle_.first_block + block_index;
+    retries_ += detail::retry_io(
+        *device_, retry_, block, "read", [&] {
+          return device_->try_read_block(
+              block, buffer_.data(),
+              static_cast<std::uint32_t>(buffer_.size() * sizeof(T)));
+        });
     valid_ = std::min<std::uint64_t>(
         elems_per_block(),
         handle_.element_count - block_index * elems_per_block());
@@ -121,10 +198,21 @@ class RunReader {
 
   BlockDevice* device_;
   RunHandle handle_;
+  fault::RetryPolicy retry_;
   std::vector<T> buffer_;
   std::size_t cursor_ = 0;
   std::size_t valid_ = 0;
   std::uint64_t consumed_ = 0;
+  std::uint64_t retries_ = 0;
 };
+
+/// Releases the device blocks a finished run occupies (recovery/cleanup).
+template <typename T>
+void release_run(BlockDevice& device, RunHandle handle) {
+  const std::uint64_t per_block = device.config().block_bytes / sizeof(T);
+  const std::uint64_t blocks =
+      (handle.element_count + per_block - 1) / per_block;
+  device.release_blocks(handle.first_block, blocks);
+}
 
 }  // namespace mp::extmem

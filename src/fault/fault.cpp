@@ -1,0 +1,110 @@
+#include "fault/fault.hpp"
+
+namespace mp::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kTransient: return "transient";
+    case FaultKind::kShort: return "short";
+    case FaultKind::kLatency: return "latency";
+    case FaultKind::kNoSpace: return "nospace";
+    case FaultKind::kMedia: return "media";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kKindCount: break;
+  }
+  return "?";
+}
+
+FaultPlan::FaultPlan(const FaultConfig& config)
+    : config_(config), rng_(config.seed), seeded_(true) {}
+
+void FaultPlan::fail_op(std::uint64_t index, FaultKind kind) {
+  script_[index] = kind;
+}
+
+void FaultPlan::fail_from(std::uint64_t index, FaultKind kind) {
+  permanent_from_ = index;
+  permanent_kind_ = kind;
+}
+
+void FaultPlan::partition_link(unsigned src, unsigned dst, std::uint64_t from,
+                               std::uint64_t length) {
+  partitions_.push_back(Partition{src, dst, from, length});
+}
+
+FaultKind FaultPlan::random_draw(OpClass op) {
+  // One uniform draw decides *whether*, a second *which*, so the stream
+  // position advances identically for every op class and rate.
+  if (!seeded_ || config_.rate <= 0.0) return FaultKind::kNone;
+  const bool fires = rng_.uniform01() < config_.rate;
+  const std::uint64_t pick = rng_.bounded(3);
+  if (!fires) return FaultKind::kNone;
+  switch (op) {
+    case OpClass::kRead:
+    case OpClass::kWrite:
+      return pick == 0   ? FaultKind::kTransient
+             : pick == 1 ? FaultKind::kShort
+                         : FaultKind::kLatency;
+    case OpClass::kAllocate:
+      // ENOSPC is never drawn randomly: random schedules stay recoverable
+      // by construction (the retryable kinds); permanence is scripted.
+      return FaultKind::kNone;
+    case OpClass::kSend:
+      return pick == 0   ? FaultKind::kDrop
+             : pick == 1 ? FaultKind::kDuplicate
+                         : FaultKind::kReorder;
+  }
+  return FaultKind::kNone;
+}
+
+FaultKind FaultPlan::resolve(OpClass op, const Partition* hit) {
+  const std::uint64_t index = next_op_++;
+  ++stats_.decisions;
+  FaultKind kind;
+  if (index >= permanent_from_) {
+    kind = permanent_kind_;
+  } else if (auto it = script_.find(index); it != script_.end()) {
+    kind = it->second;
+  } else if (hit != nullptr) {
+    kind = FaultKind::kPartition;
+  } else {
+    kind = random_draw(op);
+  }
+  if (kind != FaultKind::kNone) {
+    ++stats_.injected;
+    ++stats_.by_kind[static_cast<std::size_t>(kind)];
+  }
+  // SplitMix-style fold of (index, kind) keeps the hash sensitive to both
+  // the position and the decision.
+  std::uint64_t z = schedule_hash_ ^
+                    (index * 0x9e3779b97f4a7c15ULL +
+                     static_cast<std::uint64_t>(kind));
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  schedule_hash_ = z ^ (z >> 31);
+  return kind;
+}
+
+FaultKind FaultPlan::decide(OpClass op) { return resolve(op, nullptr); }
+
+FaultKind FaultPlan::decide_send(unsigned src, unsigned dst) {
+  const Partition* hit = nullptr;
+  for (const Partition& p : partitions_) {
+    if (p.src != src || p.dst != dst) continue;
+    if (next_op_ < p.from) continue;
+    if (p.length != 0 && next_op_ >= p.from + p.length) continue;
+    hit = &p;
+    break;
+  }
+  return resolve(OpClass::kSend, hit);
+}
+
+double FaultPlan::short_fraction() {
+  return seeded_ ? rng_.uniform01() : 0.0;
+}
+
+}  // namespace mp::fault

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 
 namespace mp {
@@ -51,14 +52,30 @@ std::int64_t Cli::get_int(const std::string& name,
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   consumed_[name] = true;
-  return std::strtoll(it->second.c_str(), nullptr, 10);
+  errno = 0;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+    if (error_.empty())
+      error_ = "invalid integer for --" + name + ": '" + it->second + "'";
+    return fallback;
+  }
+  return parsed;
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
   auto it = values_.find(name);
   if (it == values_.end()) return fallback;
   consumed_[name] = true;
-  return std::strtod(it->second.c_str(), nullptr);
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+    if (error_.empty())
+      error_ = "invalid number for --" + name + ": '" + it->second + "'";
+    return fallback;
+  }
+  return parsed;
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {

@@ -26,6 +26,9 @@ class Cli {
 
   bool has(const std::string& name) const;
   std::string get(const std::string& name, const std::string& fallback) const;
+  /// Numeric getters are strict: a value that is not entirely a number (or a
+  /// bare `--flag` with no value) records an error retrievable via error()
+  /// and returns the fallback. Callers re-check ok() after the last get.
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback = false) const;
@@ -35,7 +38,8 @@ class Cli {
 
  private:
   std::string program_;
-  std::string error_;
+  // Mutable so the const getters can record a malformed-value error lazily.
+  mutable std::string error_;
   std::map<std::string, std::string> values_;
   mutable std::map<std::string, bool> consumed_;
 };

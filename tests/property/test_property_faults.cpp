@@ -1,0 +1,363 @@
+// Fault-schedule property sweeps (see docs/TESTING.md).
+//
+// The contract under test: with a FaultPlan attached, every operation
+// either completes with the byte-exact (and payload-stable) fault-free
+// result, or throws the typed error (IoError / NetError) — never an
+// abort, never corrupt data, never leaked device blocks. And the schedule
+// is a pure function of the seed: replaying a seed reproduces the exact
+// fault sequence (schedule_hash), the exact stats, and the exact output.
+//
+// Seed counts drop under sanitizers (10-20x slowdown); every case logs its
+// seed via SCOPED_TRACE so a CI failure replays with --gtest_filter.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "../test_support.hpp"
+#include "dist/distributed_merge.hpp"
+#include "dist/netsim.hpp"
+#include "extmem/block_device.hpp"
+#include "extmem/external_sort.hpp"
+#include "extmem/run_file.hpp"
+#include "fault/fault.hpp"
+#include "util/data_gen.hpp"
+#include "util/rng.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MP_TEST_SANITIZED 1
+#endif
+#endif
+#if !defined(MP_TEST_SANITIZED) && \
+    (defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__))
+#define MP_TEST_SANITIZED 1
+#endif
+#ifndef MP_TEST_SANITIZED
+#define MP_TEST_SANITIZED 0
+#endif
+
+namespace mp {
+namespace {
+
+#if MP_TEST_SANITIZED
+constexpr std::uint64_t kSweepSeeds = 24;
+#else
+constexpr std::uint64_t kSweepSeeds = 200;
+#endif
+
+constexpr double kFaultRate = 0.10;  // the acceptance-criteria rate
+
+extmem::DeviceConfig small_blocks() {
+  extmem::DeviceConfig config;
+  config.block_bytes = 1024;  // 128 KeyedRecords per block
+  return config;
+}
+
+std::vector<KeyedRecord> make_records(std::size_t n, std::uint64_t seed) {
+  // Tiny key universe => heavy duplication => stability is load-bearing.
+  Xoshiro256 rng(seed);
+  std::vector<KeyedRecord> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = KeyedRecord{static_cast<std::int32_t>(rng.bounded(64)),
+                         static_cast<std::uint32_t>(i)};
+  return out;
+}
+
+struct SortOutcome {
+  bool completed = false;
+  std::vector<KeyedRecord> result;
+  std::uint64_t schedule_hash = 0;
+  fault::FaultStats fault_stats;
+  std::uint64_t retries = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t leaked_blocks = 0;
+};
+
+/// One full external sort under a seeded 10% fault schedule. Returns what
+/// happened; IoError is a legal outcome (typed), an abort is not.
+SortOutcome run_faulty_sort(const std::vector<KeyedRecord>& data,
+                            std::uint64_t seed) {
+  extmem::BlockDevice device(small_blocks());
+  fault::FaultPlan plan(fault::FaultConfig{seed, kFaultRate, 250.0});
+  fault::ScopedInjector injector(device, plan);
+  extmem::ExternalSortConfig config;
+  config.memory_elems = 256;  // many runs + several merge passes
+  config.fan_in = 3;
+  config.exec.threads = 2;
+  SortOutcome outcome;
+  try {
+    extmem::ExternalSortReport report;
+    outcome.result =
+        extmem::external_sort_vector(device, data, config, &report);
+    outcome.completed = true;
+    outcome.retries = report.io_retries;
+    outcome.faults = report.faults_injected;
+  } catch (const extmem::IoError&) {
+    outcome.completed = false;
+  }
+  // Success releases everything (the vector wrapper owns both runs);
+  // failure must too — leaked blocks mean a broken recovery path.
+  outcome.leaked_blocks = device.live_blocks();
+  outcome.schedule_hash = plan.schedule_hash();
+  outcome.fault_stats = plan.stats();
+  return outcome;
+}
+
+TEST(FaultSweepExtmem, SortedOrTypedErrorAcrossSeeds) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  const auto data = make_records(1500, 0xfeed);
+  auto expected = data;
+  std::stable_sort(expected.begin(), expected.end());
+  std::uint64_t completed = 0, injected_total = 0;
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "fault seed=" << seed);
+    const SortOutcome outcome = run_faulty_sort(data, seed);
+    injected_total += outcome.fault_stats.injected;
+    ASSERT_EQ(outcome.leaked_blocks, 0u) << "leaked device blocks";
+    if (!outcome.completed) continue;  // typed failure: legal, just rare
+    ++completed;
+    // Payload-exact: the faulty run's output is the stable sort, bit for
+    // bit, despite retried/redone transfers.
+    ASSERT_EQ(outcome.result, expected);
+  }
+  // At a 10% recoverable rate with 8 retry attempts, effectively every
+  // seed must complete, and the schedules must actually be injecting.
+  EXPECT_GT(injected_total, kSweepSeeds);  // >1 fault per seed on average
+  EXPECT_GE(completed, kSweepSeeds - 1);
+}
+
+TEST(FaultSweepExtmem, SameSeedReplaysByteIdentically) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  const auto data = make_records(1200, 0xd00d);
+  const std::uint64_t seeds[] = {1, 7, 42, 0x5eed};
+  for (const std::uint64_t seed : seeds) {
+    SCOPED_TRACE(::testing::Message() << "fault seed=" << seed);
+    const SortOutcome first = run_faulty_sort(data, seed);
+    const SortOutcome second = run_faulty_sort(data, seed);
+    // Identical schedule (hash + per-kind stats) and identical outcome.
+    ASSERT_EQ(first.schedule_hash, second.schedule_hash);
+    ASSERT_TRUE(first.fault_stats == second.fault_stats);
+    ASSERT_EQ(first.completed, second.completed);
+    ASSERT_EQ(first.result, second.result);
+    ASSERT_EQ(first.retries, second.retries);
+    ASSERT_EQ(first.faults, second.faults);
+  }
+}
+
+TEST(FaultSweepExtmem, PermanentFaultIsTypedAndLeakFree) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  const auto data = make_records(1500, 0xabad);
+  // Kill the device at a spread of points in the op stream: before run
+  // formation, mid-runs, and mid-merge must all fail typed and clean.
+  for (const std::uint64_t from : {0ull, 5ull, 20ull, 45ull, 80ull}) {
+    for (const fault::FaultKind kind :
+         {fault::FaultKind::kMedia, fault::FaultKind::kNoSpace}) {
+      SCOPED_TRACE(::testing::Message()
+                   << "fail_from=" << from << " kind=" << to_string(kind));
+      extmem::BlockDevice device(small_blocks());
+      fault::FaultPlan plan;
+      plan.fail_from(from, kind);
+      fault::ScopedInjector injector(device, plan);
+      extmem::ExternalSortConfig config;
+      config.memory_elems = 256;
+      config.fan_in = 2;
+      config.exec.threads = 2;
+      ASSERT_THROW(extmem::external_sort_vector(device, data, config),
+                   extmem::IoError);
+      ASSERT_EQ(device.live_blocks(), 0u) << "leaked temp-run blocks";
+    }
+  }
+}
+
+TEST(FaultSweepExtmem, EnospcFromCapacityRecoversCleanly) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  // A device too small for the sort's working set: the failure is the
+  // capacity model itself, no plan needed — and retrying on a bigger
+  // device must succeed with the same bytes.
+  const auto data = make_records(2000, 0xcafe);
+  auto expected = data;
+  std::stable_sort(expected.begin(), expected.end());
+  extmem::ExternalSortConfig config;
+  config.memory_elems = 256;
+  config.fan_in = 2;
+  config.exec.threads = 2;
+
+  extmem::DeviceConfig tight = small_blocks();
+  tight.max_blocks = 24;  // input alone needs ~16
+  extmem::BlockDevice device(tight);
+  try {
+    extmem::external_sort_vector(device, data, config);
+    FAIL() << "sort in 24 blocks must hit ENOSPC";
+  } catch (const extmem::IoError& error) {
+    EXPECT_EQ(error.status(), extmem::IoStatus::kNoSpace);
+  }
+  EXPECT_EQ(device.live_blocks(), 0u);
+
+  extmem::DeviceConfig roomy = small_blocks();
+  roomy.max_blocks = 96;  // ~2x data + carry: the footprint bound holds
+  extmem::BlockDevice retry_device(roomy);
+  EXPECT_EQ(extmem::external_sort_vector(retry_device, data, config),
+            expected);
+}
+
+struct DistOutcome {
+  bool completed = false;
+  std::vector<std::int32_t> exchange, tree, gather, sorted;
+  std::uint64_t schedule_hash = 0;
+};
+
+DistOutcome run_faulty_dist(const dist::DistArray& da,
+                            const dist::DistArray& db,
+                            const dist::DistArray& unsorted,
+                            std::uint64_t seed) {
+  fault::FaultPlan plan(fault::FaultConfig{seed, kFaultRate, 250.0});
+  dist::NetConfig config;
+  config.faults = &plan;
+  DistOutcome outcome;
+  try {
+    outcome.exchange = dist::merge_path_exchange(da, db, config)
+                           .merged.gathered();
+    outcome.tree = dist::tree_merge(da, db, config).merged.gathered();
+    outcome.gather = dist::gather_at_root(da, db, config).merged.gathered();
+    outcome.sorted = dist::distributed_sort(unsorted, config)
+                         .merged.gathered();
+    outcome.completed = true;
+  } catch (const dist::NetError&) {
+    outcome.completed = false;
+  }
+  outcome.schedule_hash = plan.schedule_hash();
+  return outcome;
+}
+
+TEST(FaultSweepDist, LossyNetworkStillMergesExactly) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  const auto input = make_merge_input(Dist::kFewDuplicates, 1400, 1100, 77);
+  const auto values = make_unsorted_values(1800, 78);
+  auto sorted_ref = values;
+  std::sort(sorted_ref.begin(), sorted_ref.end());
+  const auto merged_ref = test::reference_merge(input.a, input.b);
+
+  std::uint64_t completed = 0;
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "fault seed=" << seed);
+    const unsigned ranks = 2 + static_cast<unsigned>(seed % 7);
+    const dist::DistArray da = dist::distribute(input.a, ranks);
+    const dist::DistArray db = dist::distribute(input.b, ranks);
+    const dist::DistArray du = dist::distribute(values, ranks);
+    const DistOutcome outcome = run_faulty_dist(da, db, du, seed);
+    if (!outcome.completed) continue;  // typed failure: legal, just rare
+    ++completed;
+    ASSERT_EQ(outcome.exchange, merged_ref) << "merge_path_exchange";
+    ASSERT_EQ(outcome.tree, merged_ref) << "tree_merge";
+    ASSERT_EQ(outcome.gather, merged_ref) << "gather_at_root";
+    ASSERT_EQ(outcome.sorted, sorted_ref) << "distributed_sort";
+  }
+  // Drops need 16 consecutive losses to fail; at 10%/3 that never happens.
+  EXPECT_EQ(completed, kSweepSeeds);
+}
+
+TEST(FaultSweepDist, SameSeedReplaysByteIdentically) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  const auto input = make_merge_input(Dist::kClustered, 900, 1300, 11);
+  const auto values = make_unsorted_values(1000, 12);
+  const dist::DistArray da = dist::distribute(input.a, 5);
+  const dist::DistArray db = dist::distribute(input.b, 5);
+  const dist::DistArray du = dist::distribute(values, 5);
+  for (const std::uint64_t seed : {3ull, 19ull, 0xfaceull}) {
+    SCOPED_TRACE(::testing::Message() << "fault seed=" << seed);
+    const DistOutcome first = run_faulty_dist(da, db, du, seed);
+    const DistOutcome second = run_faulty_dist(da, db, du, seed);
+    ASSERT_EQ(first.schedule_hash, second.schedule_hash);
+    ASSERT_EQ(first.completed, second.completed);
+    ASSERT_EQ(first.exchange, second.exchange);
+    ASSERT_EQ(first.tree, second.tree);
+    ASSERT_EQ(first.gather, second.gather);
+    ASSERT_EQ(first.sorted, second.sorted);
+  }
+}
+
+TEST(FaultSweepDist, SegmentRetryHealsAWindowedPartition) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  // A partition that drops a whole segment's fetches but heals: the
+  // per-segment retry (safe by Theorem 14's disjointness) completes the
+  // merge with the exact fault-free result.
+  const auto input = make_merge_input(Dist::kUniform, 1600, 1600, 21);
+  const auto reference = test::reference_merge(input.a, input.b);
+  const dist::DistArray da = dist::distribute(input.a, 4);
+  const dist::DistArray db = dist::distribute(input.b, 4);
+  fault::FaultPlan plan;
+  // Window wide enough to exhaust max_resend on one fetch (so the segment
+  // fails with NetError) but closed by the time the segment retries.
+  for (unsigned src = 0; src < 4; ++src)
+    plan.partition_link(src, 2, 0, 12);
+  dist::NetConfig config;
+  config.faults = &plan;
+  config.max_resend = 8;
+  config.segment_retries = 2;
+  const auto result = dist::merge_path_exchange(da, db, config);
+  EXPECT_EQ(result.merged.gathered(), reference);
+  EXPECT_GT(result.net.resends, 0u);
+}
+
+TEST(FaultSweepDist, UnhealedPartitionFailsTypedEverywhere) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  const auto input = make_merge_input(Dist::kUniform, 800, 800, 31);
+  const auto values = make_unsorted_values(800, 32);
+  const dist::DistArray da = dist::distribute(input.a, 4);
+  const dist::DistArray db = dist::distribute(input.b, 4);
+  const dist::DistArray du = dist::distribute(values, 4);
+  const auto forever_drop = [] {
+    fault::FaultPlan plan;
+    plan.fail_from(0, fault::FaultKind::kDrop);
+    return plan;
+  };
+  dist::NetConfig config;
+  config.max_resend = 3;
+  config.segment_retries = 1;
+  fault::FaultPlan p1 = forever_drop();
+  config.faults = &p1;
+  EXPECT_THROW(dist::merge_path_exchange(da, db, config), dist::NetError);
+  fault::FaultPlan p2 = forever_drop();
+  config.faults = &p2;
+  EXPECT_THROW(dist::tree_merge(da, db, config), dist::NetError);
+  fault::FaultPlan p3 = forever_drop();
+  config.faults = &p3;
+  EXPECT_THROW(dist::gather_at_root(da, db, config), dist::NetError);
+  fault::FaultPlan p4 = forever_drop();
+  config.faults = &p4;
+  EXPECT_THROW(dist::distributed_sort(du, config), dist::NetError);
+}
+
+TEST(FaultGate, CompiledOutInjectorsAreInert) {
+  if (fault::kFaultCompiledIn)
+    GTEST_SKIP() << "covered by the armed tests above";
+  // MP_FAULT=0 build: a hot plan attached to both targets must change
+  // nothing — same results, zero decisions consumed.
+  fault::FaultPlan plan(fault::FaultConfig{1, 1.0, 250.0});
+  plan.fail_from(0, fault::FaultKind::kMedia);
+
+  const auto data = make_records(600, 0x0ff);
+  auto expected = data;
+  std::stable_sort(expected.begin(), expected.end());
+  extmem::BlockDevice device(small_blocks());
+  fault::ScopedInjector device_injector(device, plan);
+  extmem::ExternalSortConfig config;
+  config.memory_elems = 256;
+  config.exec.threads = 2;
+  EXPECT_EQ(extmem::external_sort_vector(device, data, config), expected);
+
+  const auto input = make_merge_input(Dist::kUniform, 500, 500, 41);
+  dist::NetConfig net_config;
+  net_config.faults = &plan;
+  const auto result = dist::merge_path_exchange(
+      dist::distribute(input.a, 4), dist::distribute(input.b, 4), net_config);
+  EXPECT_EQ(result.merged.gathered(), test::reference_merge(input.a, input.b));
+  EXPECT_EQ(plan.stats().decisions, 0u);
+  EXPECT_EQ(result.net.faults_injected, 0u);
+}
+
+}  // namespace
+}  // namespace mp

@@ -13,10 +13,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/mergepath.hpp"
+#include "core/set_ops.hpp"
+#include "core/stream_merger.hpp"
 #include "../test_support.hpp"
+#include "extmem/block_device.hpp"
+#include "extmem/external_sort.hpp"
 #include "util/data_gen.hpp"
 #include "util/rng.hpp"
 
@@ -149,6 +154,125 @@ TEST_P(StabilityByDist, MergeByKeyCarriesValuesStably) {
         ASSERT_EQ(values[i], expected[i].payload) << "index " << i;
       }
     }
+  }
+}
+
+TEST_P(StabilityByDist, SetOpsPickTheExactElementsStdWould) {
+  // Set operations have a stronger contract than "the right keys": the
+  // std algorithms specify WHICH side each survivor is copied from (union
+  // prefers A's copy of a matched tie; symmetric difference keeps the
+  // unmatched surplus of the longer tie group). Payloads expose the
+  // provenance, so payload equality proves element-exact agreement.
+  const Dist dist = GetParam();
+  std::uint64_t seed = 0x5e7ab1e0;
+  for (const Shape& shape : kShapes) {
+    const auto input = make_merge_input(dist, shape.m, shape.n, seed++);
+    const auto a = tag(input.a, 0);
+    const auto b = tag(input.b, 1);
+    std::vector<KeyedRecord> uni, inter, diff, sym;
+    std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                   std::back_inserter(uni));
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(inter));
+    std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(diff));
+    std::set_symmetric_difference(a.begin(), a.end(), b.begin(), b.end(),
+                                  std::back_inserter(sym));
+    for (const unsigned threads : kThreadCounts) {
+      SCOPED_TRACE(::testing::Message()
+                   << to_string(dist) << " m=" << shape.m << " n=" << shape.n
+                   << " p=" << threads << " seed=" << input.seed);
+      const Executor exec{nullptr, threads};
+      ASSERT_EQ(parallel_set_union(a, b, exec), uni) << "union payloads";
+      ASSERT_EQ(parallel_set_intersection(a, b, exec), inter)
+          << "intersection payloads";
+      ASSERT_EQ(parallel_set_difference(a, b, exec), diff)
+          << "difference payloads";
+      ASSERT_EQ(parallel_set_symmetric_difference(a, b, exec), sym)
+          << "symmetric difference payloads";
+    }
+  }
+}
+
+TEST_P(StabilityByDist, StreamMergerPreservesPayloadOrder) {
+  // Randomly chunked pushes with interleaved partial pulls must reproduce
+  // the one-shot stable merge payload-for-payload: the incremental
+  // exhaustion-diagonal logic may never emit a not-yet-determined element
+  // or resolve a cross-boundary tie differently than std::merge.
+  const Dist dist = GetParam();
+  Xoshiro256 rng(0x57e3a300 + static_cast<std::uint64_t>(dist));
+  for (int iter = 0; iter < 4; ++iter) {
+    const auto input =
+        make_merge_input(dist, 500 + rng.bounded(1500),
+                         500 + rng.bounded(1500), rng());
+    const auto a = tag(input.a, 0);
+    const auto b = tag(input.b, 1);
+    const auto expected = stable_reference(a, b);
+    const unsigned threads = static_cast<unsigned>(1 + rng.bounded(8));
+    SCOPED_TRACE(::testing::Message()
+                 << to_string(dist) << " m=" << a.size() << " n=" << b.size()
+                 << " p=" << threads << " iter=" << iter);
+    StreamMerger<KeyedRecord> merger({}, Executor{nullptr, threads});
+    std::vector<KeyedRecord> out;
+    std::size_t fed_a = 0, fed_b = 0;
+    while (merger.a_open() || merger.b_open() || !merger.finished()) {
+      const std::uint64_t action = rng.bounded(4);
+      if (action == 0 && merger.a_open()) {
+        const std::size_t take =
+            std::min<std::size_t>(rng.bounded(400), a.size() - fed_a);
+        merger.push_a(std::span<const KeyedRecord>(a.data() + fed_a, take));
+        fed_a += take;
+        if (fed_a == a.size()) merger.close_a();
+      } else if (action == 1 && merger.b_open()) {
+        const std::size_t take =
+            std::min<std::size_t>(rng.bounded(400), b.size() - fed_b);
+        merger.push_b(std::span<const KeyedRecord>(b.data() + fed_b, take));
+        fed_b += take;
+        if (fed_b == b.size()) merger.close_b();
+      } else {
+        std::vector<KeyedRecord> chunk(1 + rng.bounded(600));
+        chunk.resize(merger.pull(std::span<KeyedRecord>(chunk)));
+        out.insert(out.end(), chunk.begin(), chunk.end());
+      }
+    }
+    ASSERT_EQ(out, expected) << "streamed payload order";
+  }
+}
+
+TEST_P(StabilityByDist, ExternalSortMatchesStableSortPayloadExactly) {
+  // The external path adds run formation, k-way merging with run-index
+  // tie-breaks, and block-granular round-trips through the device — any
+  // of which could silently reorder ties. Payload-exact equality with
+  // std::stable_sort over the same shuffled input pins all of it down.
+  const Dist dist = GetParam();
+  Xoshiro256 rng(0xe87e3a00 + static_cast<std::uint64_t>(dist));
+  for (int iter = 0; iter < 2; ++iter) {
+    const auto input = make_merge_input(dist, 1000 + rng.bounded(2000), 0,
+                                        rng());
+    // Deterministic shuffle of the sorted keys, then payload = position
+    // AFTER the shuffle (what a stable sort must preserve for ties).
+    auto keys = input.a;
+    for (std::size_t i = keys.size(); i > 1; --i)
+      std::swap(keys[i - 1], keys[rng.bounded(i)]);
+    std::vector<KeyedRecord> data(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i)
+      data[i] = KeyedRecord{keys[i], static_cast<std::uint32_t>(i)};
+    auto expected = data;
+    std::stable_sort(expected.begin(), expected.end());
+
+    const unsigned threads = static_cast<unsigned>(1 + rng.bounded(4));
+    SCOPED_TRACE(::testing::Message() << to_string(dist) << " n="
+                                      << data.size() << " p=" << threads
+                                      << " iter=" << iter);
+    extmem::DeviceConfig device_config;
+    device_config.block_bytes = 1024;  // 128 records: forces real merging
+    extmem::BlockDevice device(device_config);
+    extmem::ExternalSortConfig config;
+    config.memory_elems = 256;
+    config.fan_in = 2 + static_cast<std::size_t>(rng.bounded(3));
+    config.exec.threads = threads;
+    ASSERT_EQ(extmem::external_sort_vector(device, data, config), expected)
+        << "external sort payload order";
   }
 }
 

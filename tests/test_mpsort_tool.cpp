@@ -109,6 +109,47 @@ TEST(MpsortTool, RejectsNonNumericThreadCount) {
   EXPECT_EQ(run("sort " + in + " " + out + " --threads 2"), 0);
 }
 
+TEST(MpsortTool, RejectsMalformedFaultFlags) {
+  const auto in = temp_file("fault_in.txt");
+  const auto out = temp_file("fault_out.txt");
+  write_file(in, "b\na\n");
+  EXPECT_EQ(run("sort " + in + " " + out + " --fault-rate banana"), 2);
+  EXPECT_EQ(run("sort " + in + " " + out + " --fault-rate 1.5"), 2);
+  EXPECT_EQ(run("sort " + in + " " + out + " --fault-rate -0.1"), 2);
+  EXPECT_EQ(run("sort " + in + " " + out + " --fault-rate"), 2);
+  EXPECT_EQ(run("sort " + in + " " + out + " --fault-seed 12abc"), 2);
+  EXPECT_EQ(run("sort " + in + " " + out + " --fault-seed"), 2);
+  // Fault drills need the external-memory path: text mode is rejected.
+  EXPECT_EQ(run("sort " + in + " " + out + " --fault-rate 0.1"), 2);
+  // A zero rate is a no-op, not an error, in any mode.
+  EXPECT_EQ(run("sort " + in + " " + out + " --fault-rate 0"), 0);
+}
+
+TEST(MpsortTool, FaultInjectedBinarySortStillSortsExactly) {
+  const auto in = temp_file("fault_in.bin");
+  const auto out = temp_file("fault_out.bin");
+  const auto out2 = temp_file("fault_out2.bin");
+  std::vector<std::int32_t> values;
+  for (int i = 0; i < 5000; ++i) values.push_back((i * 2654435761) % 997);
+  {
+    std::ofstream f(in, std::ios::binary);
+    f.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * 4));
+  }
+  ASSERT_EQ(
+      run("sort " + in + " " + out + " --binary --fault-rate 0.1"
+          " --fault-seed 7 --threads 2"),
+      0);
+  EXPECT_EQ(run("check " + out + " --binary"), 0);
+  // Same seed => byte-identical output file.
+  ASSERT_EQ(
+      run("sort " + in + " " + out2 + " --binary --fault-rate 0.1"
+          " --fault-seed 7 --threads 2"),
+      0);
+  EXPECT_EQ(read_file(out), read_file(out2));
+  EXPECT_EQ(read_file(out).size(), values.size() * 4);
+}
+
 TEST(MpsortTool, MergeNumericOrdersByValue) {
   const auto a = temp_file("num_a.txt");
   const auto b = temp_file("num_b.txt");
