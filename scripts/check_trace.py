@@ -34,8 +34,9 @@ import sys
 # Every span/instant/counter name the library emits (docs/OBSERVABILITY.md).
 # Grouped by subsystem; extend this set in the same change that adds a span.
 KNOWN_NAMES = {
-    # thread pool
+    # thread pool (incl. the lane-fault recovery surface)
     "pool.checkout", "pool.lane", "pool.job", "pool.barrier",
+    "pool.recover", "pool.lane_fault", "pool.hedge", "pool.fallback",
     # two-array merge (core)
     "merge", "merge.partition", "merge.segment",
     # segmented (cache-aware) merge
@@ -44,7 +45,7 @@ KNOWN_NAMES = {
     "mwm", "mwm.select", "mwm.merge", "mwm.sort", "mwm.block",
     # in-memory merge sort
     "sort", "sort.round", "sort.round_slice", "sort.partition",
-    "sort.block", "sort.copyback",
+    "sort.block", "sort.copyback", "sort.round_index",
     # streaming merger
     "stream.pull", "stream.push",
     # external-memory sort (extmem)
@@ -52,6 +53,9 @@ KNOWN_NAMES = {
     # distributed merge (dist)
     "dist.exchange", "dist.tree", "dist.gather", "dist.sort",
     "dist.segment_retry",
+    # SIMT cost-model kernels (simt)
+    "simt.direct", "simt.staged", "simt.sort", "simt.tile",
+    "simt.blocksort", "simt.round",
 }
 
 

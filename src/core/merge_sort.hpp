@@ -117,19 +117,19 @@ void sequential_merge_sort(std::span<T> data, Comp comp = {}) {
   sequential_merge_sort(data.data(), scratch.data(), data.size(), comp);
 }
 
-/// One flattened round: merges adjacent pairs of `runs` (runs must tile
-/// [0, n) contiguously) from `src` into `dst`, dividing the round's total
-/// output equally among `lanes` lanes. A trailing unpaired run is copied.
-/// Returns the merged run list.
-///
-/// This is the building block shared by parallel_merge_sort and the
-/// cache-efficient sort; it is exposed for tests.
-template <typename T, typename Comp = std::less<>,
-          typename Instr = NoInstrument>
-std::vector<Run> merge_round_balanced(const T* src, T* dst,
-                                      const std::vector<Run>& runs,
-                                      Executor exec = {}, Comp comp = {},
-                                      std::span<Instr> instr = {}) {
+namespace detail {
+
+/// Engine of one flattened merge round, parameterised over the job runner
+/// so the plain path (ThreadPool::parallel_for_lanes) and the fault-aware
+/// path (core/recovery.hpp's run_lanes_with_recovery) share the partition
+/// math and lane body. `run_job(lanes, fn)` must execute fn(lane) for every
+/// lane in [0, lanes); the lane body only reads `src` and writes a disjoint
+/// slice of `dst`, so re-executing a lane is idempotent.
+template <typename T, typename Comp, typename Instr, typename RunJob>
+std::vector<Run> merge_round_impl(const T* src, T* dst,
+                                  const std::vector<Run>& runs,
+                                  unsigned lanes, Comp comp,
+                                  std::span<Instr> instr, RunJob&& run_job) {
   MP_CHECK(!runs.empty());
   // Pair descriptors: pair t merges runs[2t] (A) and runs[2t+1] (B, possibly
   // missing). Output starts at runs[2t].begin since runs tile the buffer.
@@ -150,11 +150,10 @@ std::vector<Run> merge_round_balanced(const T* src, T* dst,
   }
   const std::size_t total = runs.back().end - runs.front().begin;
   const std::size_t base = runs.front().begin;
-  const unsigned lanes = exec.resolve_threads();
   MP_CHECK(instr.empty() || instr.size() >= lanes);
   obs::Span round_span("sort.round", "runs", runs.size());
 
-  exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
+  run_job(lanes, [&](unsigned lane) {
     obs::Span span("sort.round_slice", "lane", lane);
     Instr* li = instr.empty() ? nullptr : &instr[lane];
     const std::size_t g0 = base + lane * total / lanes;
@@ -197,6 +196,29 @@ std::vector<Run> merge_round_balanced(const T* src, T* dst,
   return merged;
 }
 
+}  // namespace detail
+
+/// One flattened round: merges adjacent pairs of `runs` (runs must tile
+/// [0, n) contiguously) from `src` into `dst`, dividing the round's total
+/// output equally among `lanes` lanes. A trailing unpaired run is copied.
+/// Returns the merged run list.
+///
+/// This is the building block shared by parallel_merge_sort and the
+/// cache-efficient sort; it is exposed for tests.
+template <typename T, typename Comp = std::less<>,
+          typename Instr = NoInstrument>
+std::vector<Run> merge_round_balanced(const T* src, T* dst,
+                                      const std::vector<Run>& runs,
+                                      Executor exec = {}, Comp comp = {},
+                                      std::span<Instr> instr = {}) {
+  const unsigned lanes = exec.resolve_threads();
+  return detail::merge_round_impl(
+      src, dst, runs, lanes, comp, instr,
+      [&](unsigned l, const std::function<void(unsigned)>& fn) {
+        exec.resolve_pool().parallel_for_lanes(l, fn);
+      });
+}
+
 /// The paper's Parallel Merge Sort (Section III). Sorts [data, data+n)
 /// stably using `exec`. `instr`, when provided, must cover
 /// exec.resolve_threads() lanes and accumulates per-lane operation counts
@@ -227,10 +249,16 @@ void parallel_merge_sort(T* data, std::size_t n, Executor exec = {},
                           comp, li);
   });
 
-  // Phase 2: log2(p) flattened merge rounds, ping-ponging buffers.
+  // Phase 2: log2(p) flattened merge rounds, ping-ponging buffers. The
+  // round-index counter brackets each sort.round span so a trace viewer
+  // (and check_trace.py) can attribute per-lane imbalance to the round
+  // that produced it — late rounds merge few, long runs and are where
+  // skewed inputs bite.
   T* src = data;
   T* dst = scratch.data();
+  std::uint64_t round = 0;
   while (runs.size() > 1) {
+    obs::Span::counter("sort.round_index", round++);
     runs = merge_round_balanced(src, dst, runs, exec, comp, instr);
     std::swap(src, dst);
   }

@@ -24,8 +24,40 @@ RankNetwork::RankNetwork(unsigned ranks, const NetConfig& config)
       faults_(config.faults),
       port_send_(ranks, 0.0),
       port_recv_(ranks, 0.0),
-      recv_bytes_total_(ranks, 0) {
+      recv_bytes_total_(ranks, 0),
+      ack_pending_(static_cast<std::size_t>(ranks) * ranks, 0) {
   MP_CHECK(ranks >= 1);
+}
+
+void RankNetwork::charge_ack(unsigned src, unsigned dst) {
+  // Header-sized: pure alpha, no payload term. The ack travels dst -> src.
+  port_send_[dst] += config_.alpha_us;
+  port_recv_[src] += config_.alpha_us;
+  ++stats_.acks;
+}
+
+void RankNetwork::note_delivery(unsigned src, unsigned dst) {
+  if (config_.ack_window == 0) return;  // acks-are-free legacy model
+  if (src == dst) return;               // local moves need no ack
+  unsigned& pending = ack_pending_[static_cast<std::size_t>(src) * ranks() +
+                                   dst];
+  if (++pending >= config_.ack_window) {
+    pending = 0;
+    charge_ack(src, dst);
+  }
+}
+
+void RankNetwork::flush_acks() {
+  if (config_.ack_window == 0) return;
+  for (unsigned src = 0; src < ranks(); ++src) {
+    for (unsigned dst = 0; dst < ranks(); ++dst) {
+      unsigned& pending =
+          ack_pending_[static_cast<std::size_t>(src) * ranks() + dst];
+      if (pending == 0) continue;
+      pending = 0;
+      charge_ack(src, dst);
+    }
+  }
 }
 
 fault::FaultKind RankNetwork::inject(unsigned src, unsigned dst) {
@@ -90,14 +122,17 @@ void RankNetwork::reliable_send(unsigned src, unsigned dst,
   for (;;) {
     switch (send(src, dst, bytes)) {
       case Delivery::kOk:
+        note_delivery(src, dst);
         return;
       case Delivery::kDuplicated:
         // The receiver's sequence numbers identify the second copy; it is
         // discarded on arrival. The wasted port time is already charged.
         ++stats_.dedup_discards;
+        note_delivery(src, dst);
         return;
       case Delivery::kReordered:
         // Receiver-side buffering reassembles order; charged in send().
+        note_delivery(src, dst);
         return;
       case Delivery::kDropped:
         // No ack before the timeout: charge one alpha for the timeout on
@@ -118,6 +153,9 @@ void RankNetwork::reliable_send(unsigned src, unsigned dst,
 
 void RankNetwork::end_round() {
   if (!round_open_) return;
+  // Close every partially filled ack window: the round's cost honestly
+  // includes the acks its reliable traffic owes.
+  flush_acks();
   double busiest = 0.0;
   for (unsigned r = 0; r < ranks(); ++r) {
     busiest = std::max(busiest, port_send_[r]);

@@ -43,6 +43,12 @@ struct NetConfig {
   /// reliable_send gives up (NetError) after this many resends of one
   /// message — the "link is partitioned" detector.
   unsigned max_resend = 16;
+  /// Cumulative-ack window of the reliable protocol: the receiver sends one
+  /// ack per `ack_window` delivered messages on a flow (plus one closing a
+  /// partial window at the round barrier), and each ack costs a real alpha
+  /// on both ports. 1 models naive per-message acks; 0 disables ack
+  /// accounting (the pre-windowed, acks-are-free model).
+  unsigned ack_window = 16;
   /// Protocol-level retries of a whole Merge Path segment exchange after a
   /// NetError (distributed_merge; segments are disjoint so re-fetching one
   /// touches nothing else).
@@ -61,6 +67,7 @@ struct NetStats {
   std::uint64_t reorders = 0;         ///< messages delivered late
   std::uint64_t resends = 0;          ///< retransmissions by reliable_send
   std::uint64_t dedup_discards = 0;   ///< duplicate copies discarded by seq no
+  std::uint64_t acks = 0;             ///< window acks sent (not in `messages`)
 };
 
 /// What the network did with one send() attempt.
@@ -110,6 +117,12 @@ class RankNetwork {
   /// by sequence number, and absorbs reordering (receiver-side buffering,
   /// one extra alpha). Throws NetError after config().max_resend resends
   /// of the same message — the persistent-partition case.
+  ///
+  /// Acks are windowed (config().ack_window): successful deliveries on a
+  /// flow accumulate, and every full window costs one ack message (pure
+  /// alpha, header-sized) charged to the receiver's send port and the
+  /// sender's recv port. end_round() flushes partial windows, so a round's
+  /// modeled time always includes the acks its traffic owes.
   void reliable_send(unsigned src, unsigned dst, std::uint64_t bytes);
 
   /// Ends the current communication round (a barrier): the round costs the
@@ -126,10 +139,21 @@ class RankNetwork {
   std::vector<double> port_send_;  // per-rank accumulated port time, round
   std::vector<double> port_recv_;
   std::vector<std::uint64_t> recv_bytes_total_;
+  /// Per-flow (src*ranks+dst) deliveries not yet covered by an ack.
+  std::vector<unsigned> ack_pending_;
   bool round_open_ = false;
 
   /// Consults the plan for this attempt (compiled out under MP_FAULT=0).
   fault::FaultKind inject(unsigned src, unsigned dst);
+
+  /// Counts one reliable delivery on src->dst; charges a window ack when
+  /// the window fills.
+  void note_delivery(unsigned src, unsigned dst);
+  /// One ack message dst->src: alpha on the receiver's send port and the
+  /// sender's recv port.
+  void charge_ack(unsigned src, unsigned dst);
+  /// Acks every partially filled window (round barrier).
+  void flush_acks();
 };
 
 }  // namespace mp::dist

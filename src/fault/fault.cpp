@@ -14,6 +14,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDuplicate: return "duplicate";
     case FaultKind::kReorder: return "reorder";
     case FaultKind::kPartition: return "partition";
+    case FaultKind::kLaneThrow: return "lane_throw";
+    case FaultKind::kLaneAbandon: return "lane_abandon";
+    case FaultKind::kLaneDelay: return "lane_delay";
     case FaultKind::kKindCount: break;
   }
   return "?";
@@ -57,6 +60,12 @@ FaultKind FaultPlan::random_draw(OpClass op) {
       return pick == 0   ? FaultKind::kDrop
              : pick == 1 ? FaultKind::kDuplicate
                          : FaultKind::kReorder;
+    case OpClass::kLane:
+      // All three are recoverable: throws and abandons re-run the lane's
+      // disjoint segment, delays resolve by waiting (or hedging).
+      return pick == 0   ? FaultKind::kLaneThrow
+             : pick == 1 ? FaultKind::kLaneAbandon
+                         : FaultKind::kLaneDelay;
   }
   return FaultKind::kNone;
 }

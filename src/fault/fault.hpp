@@ -67,13 +67,17 @@ enum class FaultKind : std::uint8_t {
   kDuplicate,  ///< message delivered twice (receiver must dedup by sequence)
   kReorder,    ///< message arrives late / out of order
   kPartition,  ///< link down for a scripted window of operations
+  // Compute faults (ThreadPool lanes).
+  kLaneThrow,    ///< the lane throws before running its task (crash model)
+  kLaneAbandon,  ///< the lane never runs its task (dead-worker model)
+  kLaneDelay,    ///< the lane stalls before its task (straggler model)
   kKindCount,  // sentinel for stats arrays
 };
 
 const char* to_string(FaultKind kind);
 
 /// Operation classes an injector can interpose on.
-enum class OpClass : std::uint8_t { kRead, kWrite, kAllocate, kSend };
+enum class OpClass : std::uint8_t { kRead, kWrite, kAllocate, kSend, kLane };
 
 /// Counts of what a plan actually injected (deterministic in the seed).
 struct FaultStats {
@@ -103,6 +107,10 @@ struct FaultConfig {
   double rate = 0.0;
   /// Modeled cost of one kLatency fault (and the unit for backoff math).
   double latency_us = 250.0;
+  /// Real wall-time stall of one kLaneDelay fault. Lanes run on live
+  /// threads, so — unlike the modeled substrates — the straggler actually
+  /// sleeps; the ThreadPool's hedger can cancel the sleep early.
+  double lane_delay_us = 2000.0;
 };
 
 /// Bounded retry-with-backoff policy shared by the fault-aware consumers.
@@ -123,6 +131,25 @@ class FaultError : public std::runtime_error {
 
  private:
   FaultKind kind_;
+};
+
+/// Typed compute fault: an injected lane failure surfaced by the
+/// ThreadPool (kLaneThrow thrown from the lane itself; kLaneAbandon
+/// synthesized when a report consumer asks for the first error of a job
+/// whose lane never ran). Fires *before* the lane's task executes, so a
+/// recovered lane re-runs its disjoint output segment from scratch —
+/// exactly the re-execution Theorem 14 makes safe.
+class LaneFault : public FaultError {
+ public:
+  LaneFault(FaultKind kind, unsigned lane)
+      : FaultError(kind, std::string("injected lane fault: ") +
+                             to_string(kind) + " on lane " +
+                             std::to_string(lane)),
+        lane_(lane) {}
+  unsigned lane() const { return lane_; }
+
+ private:
+  unsigned lane_;
 };
 
 /// A deterministic fault schedule. Default-constructed plans are inert

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/merge_path.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace mp::simt {
@@ -179,9 +180,11 @@ GpuMergeResult gpu_merge_direct(const std::vector<std::int32_t>& a,
   GpuMergeResult result;
   result.output.resize(total);
   if (total == 0) return result;
+  obs::Span kernel_span("simt.direct", "n", total);
 
   const std::size_t tiles = (total + tile_elems - 1) / tile_elems;
   for (std::size_t tile = 0; tile < tiles; ++tile) {
+    obs::Span tile_span("simt.tile", "tile", tile);
     CtaContext cta(config.simt);
     const std::size_t d0 = tile * tile_elems;
     const std::size_t d1 = std::min(total, d0 + tile_elems);
@@ -246,10 +249,12 @@ GpuMergeResult gpu_merge_staged(const std::vector<std::int32_t>& a,
   GpuMergeResult result;
   result.output.resize(total);
   if (total == 0) return result;
+  obs::Span kernel_span("simt.staged", "n", total);
 
   const std::uint64_t shared_in = 0;     // shared-memory window base
   const std::size_t tiles = (total + tile_elems - 1) / tile_elems;
   for (std::size_t tile = 0; tile < tiles; ++tile) {
+    obs::Span tile_span("simt.tile", "tile", tile);
     CtaContext cta(config.simt);
     const std::size_t d0 = tile * tile_elems;
     const std::size_t d1 = std::min(total, d0 + tile_elems);
@@ -363,6 +368,7 @@ GpuSortResult gpu_merge_sort(const std::vector<std::int32_t>& values,
   GpuSortResult result;
   result.output = values;
   if (n <= 1) return result;
+  obs::Span kernel_span("simt.sort", "n", n);
 
   // --- Phase 1: CTA blocksort. Each tile: coalesced load, bitonic sort in
   // shared memory (traffic modelled from the network's structure; the
@@ -371,6 +377,7 @@ GpuSortResult gpu_merge_sort(const std::vector<std::int32_t>& values,
   const unsigned threads = config.simt.cta_threads;
   const unsigned warp = config.simt.warp_size;
   for (std::size_t begin = 0; begin < n; begin += tile_elems) {
+    obs::Span tile_span("simt.blocksort", "tile", begin / tile_elems);
     const std::size_t end = std::min(n, begin + tile_elems);
     const std::size_t len = end - begin;
     CtaContext cta(config.simt);
@@ -431,6 +438,7 @@ GpuSortResult gpu_merge_sort(const std::vector<std::int32_t>& values,
   for (std::size_t begin = 0; begin < n; begin += tile_elems)
     runs.emplace_back(begin, std::min(n, begin + tile_elems));
   while (runs.size() > 1) {
+    obs::Span round_span("simt.round", "runs", runs.size());
     std::vector<std::pair<std::size_t, std::size_t>> next;
     std::vector<std::int32_t> merged(result.output.size());
     for (std::size_t t = 0; 2 * t < runs.size(); ++t) {

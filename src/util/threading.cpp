@@ -1,15 +1,38 @@
 #include "util/threading.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace mp {
+
+const char* to_string(LaneStatus status) {
+  switch (status) {
+    case LaneStatus::kOk: return "ok";
+    case LaneStatus::kThrew: return "threw";
+    case LaneStatus::kAbandoned: return "abandoned";
+  }
+  return "?";
+}
+
+std::exception_ptr LaneReport::first_error() const {
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    const LaneOutcome& outcome = lanes[lane];
+    if (outcome.status == LaneStatus::kThrew) return outcome.error;
+    if (outcome.status == LaneStatus::kAbandoned)
+      return std::make_exception_ptr(fault::LaneFault(
+          fault::FaultKind::kLaneAbandon, static_cast<unsigned>(lane)));
+  }
+  return nullptr;
+}
 
 struct ThreadPool::Impl {
   // Job: run lanes [1, lanes) of `task`; lane 0 is the caller's. Workers
@@ -18,6 +41,10 @@ struct ThreadPool::Impl {
   std::mutex mutex;
   std::condition_variable wake_workers;
   std::condition_variable job_done;
+  // Wakes lanes sleeping off an injected kLaneDelay stall: the hedger
+  // notifies after claiming a straggler's ticket so the cancelled sleeper
+  // returns immediately instead of finishing its nap.
+  std::condition_variable delay_cv;
   const std::function<void(unsigned)>* task = nullptr;
   unsigned job_lanes = 0;
   std::uint64_t job_id = 0;
@@ -27,7 +54,30 @@ struct ThreadPool::Impl {
   std::exception_ptr first_error;
   bool shutting_down = false;
   bool job_active = false;
+  // True while the current job tracks per-lane outcomes (fault plan
+  // attached or try_parallel_for_lanes). Read by workers under the mutex
+  // at check-in.
+  bool job_faulty = false;
+  std::chrono::microseconds job_delay{0};
   std::vector<std::thread> threads;
+
+  // Per-lane state of a faulty job. All fields are written and read under
+  // `mutex` (the executing thread and the caller's hedger both touch
+  // them), except `injected`, which is written once by the caller before
+  // the job starts.
+  struct LaneSlot {
+    bool started = false;  ///< a claimer reached this lane
+    bool ticket = false;   ///< someone owns the right to run the task
+    bool done = false;     ///< outcome fields below are final
+    bool hedged = false;   ///< the ticket was claimed by the caller's hedge
+    std::uint64_t start_ns = 0;
+    std::uint64_t wall_ns = 0;
+    LaneStatus status = LaneStatus::kOk;
+    std::exception_ptr error;
+  };
+  std::vector<LaneSlot> slots;
+  std::vector<fault::FaultKind> decisions;  // per-lane, drawn at fork time
+  fault::FaultPlan* plan = nullptr;
 
   bool job_quiescent() const {
     return lanes_remaining == 0 && workers_in_job == 0;
@@ -38,6 +88,7 @@ struct ThreadPool::Impl {
     for (;;) {
       const std::function<void(unsigned)>* my_task = nullptr;
       unsigned my_lanes = 0;
+      bool my_faulty = false;
       {
         std::unique_lock lock(mutex);
         wake_workers.wait(lock, [&] {
@@ -47,6 +98,7 @@ struct ThreadPool::Impl {
         last_seen_job = job_id;
         my_task = task;
         my_lanes = job_lanes;
+        my_faulty = job_faulty;
         // Check in: parallel_for_lanes must not return (and the next job
         // must not recycle `task`/`next_lane`) while this worker can still
         // claim lanes. Without this a worker that picked up job N but lost
@@ -55,7 +107,10 @@ struct ThreadPool::Impl {
         // task — a use-after-scope the old lanes-only wait left open.
         ++workers_in_job;
       }
-      run_lanes(*my_task, my_lanes);
+      if (my_faulty)
+        run_lanes_faulty(*my_task, my_lanes);
+      else
+        run_lanes(*my_task, my_lanes);
       {
         // Check out. The time spent acquiring this lock is the per-worker
         // share of the fork-join teardown cost ROADMAP asks about; it is
@@ -82,7 +137,8 @@ struct ThreadPool::Impl {
   }
 
   // Claims and executes lanes until the job is exhausted, then reports the
-  // lanes it completed.
+  // lanes it completed. The no-plan fast path: no per-lane bookkeeping, no
+  // extra lock traffic.
   void run_lanes(const std::function<void(unsigned)>& fn, unsigned lanes) {
     unsigned completed = 0;
     std::exception_ptr error;
@@ -111,6 +167,109 @@ struct ThreadPool::Impl {
       if (job_quiescent()) job_done.notify_all();
     }
   }
+
+  // The outcome-tracking twin of run_lanes, used whenever the job needs a
+  // LaneReport: injected faults fire here (before the task), stalled lanes
+  // sleep cancellably, and every outcome lands in its slot instead of the
+  // shared first_error.
+  void run_lanes_faulty(const std::function<void(unsigned)>& fn,
+                        unsigned lanes) {
+    unsigned completed = 0;
+    for (;;) {
+      const unsigned lane = next_lane.fetch_add(1, std::memory_order_relaxed);
+      if (lane >= lanes) break;
+      execute_faulty_lane(fn, lane);
+      ++completed;
+    }
+    if (completed > 0) {
+      std::lock_guard lock(mutex);
+      lanes_remaining -= completed;
+      if (job_quiescent()) job_done.notify_all();
+    }
+  }
+
+  // Runs (or injects into) one claimed lane. The claimer still owns the
+  // lane's barrier accounting even when the caller's hedge stole the task:
+  // the ticket decides who *runs*, the claim decides who *reports*.
+  void execute_faulty_lane(const std::function<void(unsigned)>& fn,
+                           unsigned lane) {
+    const fault::FaultKind decision = decisions[lane];
+    const bool timed = obs::lane_metrics_armed();
+    {
+      std::unique_lock lock(mutex);
+      LaneSlot& slot = slots[lane];
+      slot.started = true;
+      slot.start_ns = obs::detail::monotonic_ns();
+      if (decision == fault::FaultKind::kLaneDelay &&
+          job_delay.count() > 0) {
+        // Injected straggler: a real stall, but cancellable — the hedger
+        // claims the ticket and notifies, so the barrier never waits out
+        // the full nap once the work has been re-executed elsewhere.
+        LaneSlot* s = &slot;
+        delay_cv.wait_for(lock, job_delay,
+                          [&] { return s->ticket || shutting_down; });
+      }
+      if (slot.ticket) return;  // hedged away: outcome recorded by the hedger
+      slot.ticket = true;
+    }
+
+    LaneStatus status = LaneStatus::kOk;
+    std::exception_ptr error;
+    {
+      obs::Span span("pool.lane", "lane", lane);
+      if (decision == fault::FaultKind::kLaneThrow) {
+        status = LaneStatus::kThrew;
+        error = std::make_exception_ptr(fault::LaneFault(decision, lane));
+        obs::Span::instant("pool.lane_fault", "lane", lane);
+      } else if (decision == fault::FaultKind::kLaneAbandon) {
+        status = LaneStatus::kAbandoned;
+        obs::Span::instant("pool.lane_fault", "lane", lane);
+      } else {
+        try {
+          fn(lane);
+        } catch (...) {
+          status = LaneStatus::kThrew;
+          error = std::current_exception();
+        }
+      }
+    }
+
+    std::lock_guard lock(mutex);
+    LaneSlot& slot = slots[lane];
+    slot.wall_ns = obs::detail::monotonic_ns() - slot.start_ns;
+    slot.status = status;
+    slot.error = std::move(error);
+    slot.done = true;
+    if (timed) obs::LaneMetrics::instance().record_lane(lane, slot.wall_ns);
+  }
+
+  // Caller-side straggler scan (holding `lock`): a started lane whose
+  // ticket is unclaimed and whose elapsed time exceeds the hedge threshold
+  // is a hedge candidate. Returns the lane index or -1.
+  int find_straggler(const HedgePolicy& hedge, unsigned lanes) {
+    std::vector<std::uint64_t> walls;
+    walls.reserve(lanes);
+    for (const LaneSlot& slot : slots)
+      if (slot.done) walls.push_back(slot.wall_ns);
+    std::uint64_t threshold_ns =
+        static_cast<std::uint64_t>(hedge.min_lane_us * 1000.0);
+    if (!walls.empty()) {
+      const auto mid = walls.begin() + static_cast<std::ptrdiff_t>(
+                                           walls.size() / 2);
+      std::nth_element(walls.begin(), mid, walls.end());
+      threshold_ns = std::max(
+          threshold_ns,
+          static_cast<std::uint64_t>(hedge.factor *
+                                     static_cast<double>(*mid)));
+    }
+    const std::uint64_t now = obs::detail::monotonic_ns();
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      const LaneSlot& slot = slots[lane];
+      if (slot.started && !slot.ticket && now - slot.start_ns > threshold_ns)
+        return static_cast<int>(lane);
+    }
+    return -1;
+  }
 };
 
 ThreadPool::ThreadPool(int workers) : impl_(std::make_unique<Impl>()) {
@@ -132,6 +291,7 @@ ThreadPool::~ThreadPool() {
     impl_->shutting_down = true;
   }
   impl_->wake_workers.notify_all();
+  impl_->delay_cv.notify_all();
   for (auto& t : impl_->threads) t.join();
 }
 
@@ -139,9 +299,28 @@ unsigned ThreadPool::workers() const {
   return static_cast<unsigned>(impl_->threads.size());
 }
 
+void ThreadPool::set_fault_plan(fault::FaultPlan* plan) {
+  std::lock_guard lock(impl_->mutex);
+  MP_CHECK(!impl_->job_active);  // quiescent control plane, like tracing
+  impl_->plan = plan;
+}
+
+fault::FaultPlan* ThreadPool::fault_plan() const { return impl_->plan; }
+
 void ThreadPool::parallel_for_lanes(
     unsigned lanes, const std::function<void(unsigned)>& task) {
   if (lanes == 0) return;
+  bool faulty = false;
+  if constexpr (fault::kFaultCompiledIn) faulty = impl_->plan != nullptr;
+  if (faulty) {
+    // A plan is armed: run through the outcome-tracking machinery so the
+    // barrier survives whatever the schedule injects, then surface the
+    // first failure as the typed exception (fault::LaneFault for injected
+    // throws/abandons, the task's own exception otherwise).
+    const LaneReport report = try_parallel_for_lanes(lanes, task);
+    if (auto error = report.first_error()) std::rethrow_exception(error);
+    return;
+  }
   obs::Span job_span("pool.job", "lanes", lanes);
   const bool timed = obs::lane_metrics_armed();
   if (timed) obs::LaneMetrics::instance().record_job(lanes);
@@ -169,6 +348,7 @@ void ThreadPool::parallel_for_lanes(
     impl_->next_lane.store(0, std::memory_order_relaxed);
     impl_->first_error = nullptr;
     impl_->job_active = true;
+    impl_->job_faulty = false;
     ++impl_->job_id;
   }
   impl_->wake_workers.notify_all();
@@ -196,6 +376,153 @@ void ThreadPool::parallel_for_lanes(
           obs::detail::monotonic_ns() - b0);
   }
   if (error) std::rethrow_exception(error);
+}
+
+LaneReport ThreadPool::try_parallel_for_lanes(
+    unsigned lanes, const std::function<void(unsigned)>& task,
+    const HedgePolicy& hedge) {
+  LaneReport report;
+  if (lanes == 0) return report;
+  obs::Span job_span("pool.job", "lanes", lanes);
+  const bool timed = obs::lane_metrics_armed();
+  if (timed) obs::LaneMetrics::instance().record_job(lanes);
+
+  // Draw the whole job's fault schedule up front on the calling thread:
+  // one decision per lane, in lane order. Concurrent claimers would
+  // consult the (single-stream) plan in a nondeterministic order; drawing
+  // at fork time keeps the schedule — and schedule_hash — a pure function
+  // of the seed and the job sequence.
+  impl_->decisions.assign(lanes, fault::FaultKind::kNone);
+  std::chrono::microseconds delay{0};
+  if constexpr (fault::kFaultCompiledIn) {
+    if (impl_->plan != nullptr) {
+      for (unsigned lane = 0; lane < lanes; ++lane)
+        impl_->decisions[lane] = impl_->plan->decide(fault::OpClass::kLane);
+      delay = std::chrono::microseconds(static_cast<std::int64_t>(
+          impl_->plan->config().lane_delay_us));
+    }
+  }
+  impl_->job_delay = delay;
+  impl_->slots.assign(lanes, Impl::LaneSlot{});
+
+  if (lanes == 1 || impl_->threads.empty()) {
+    // Inline path: lanes run in order on the caller. Injected faults still
+    // fire (a delay sleeps uncancellably — there is no second thread to
+    // hedge from), so serial pools exercise the same schedules.
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      Impl::LaneSlot& slot = impl_->slots[lane];
+      const fault::FaultKind decision = impl_->decisions[lane];
+      const std::uint64_t t0 = obs::detail::monotonic_ns();
+      obs::Span span("pool.lane", "lane", lane);
+      if (decision == fault::FaultKind::kLaneDelay && delay.count() > 0)
+        std::this_thread::sleep_for(delay);
+      if (decision == fault::FaultKind::kLaneThrow) {
+        slot.status = LaneStatus::kThrew;
+        slot.error = std::make_exception_ptr(fault::LaneFault(decision, lane));
+        obs::Span::instant("pool.lane_fault", "lane", lane);
+      } else if (decision == fault::FaultKind::kLaneAbandon) {
+        slot.status = LaneStatus::kAbandoned;
+        obs::Span::instant("pool.lane_fault", "lane", lane);
+      } else {
+        try {
+          task(lane);
+        } catch (...) {
+          slot.status = LaneStatus::kThrew;
+          slot.error = std::current_exception();
+        }
+      }
+      slot.wall_ns = obs::detail::monotonic_ns() - t0;
+      slot.done = true;
+      if (timed) obs::LaneMetrics::instance().record_lane(lane, slot.wall_ns);
+    }
+  } else {
+    {
+      std::lock_guard lock(impl_->mutex);
+      MP_CHECK(!impl_->job_active);  // no nested / concurrent fork-join
+      impl_->task = &task;
+      impl_->job_lanes = lanes;
+      impl_->lanes_remaining = lanes;
+      impl_->next_lane.store(0, std::memory_order_relaxed);
+      impl_->first_error = nullptr;
+      impl_->job_active = true;
+      impl_->job_faulty = true;
+      ++impl_->job_id;
+    }
+    impl_->wake_workers.notify_all();
+
+    impl_->run_lanes_faulty(task, lanes);
+
+    {
+      obs::Span barrier_span("pool.barrier", "lanes", lanes);
+      const std::uint64_t b0 = timed ? obs::detail::monotonic_ns() : 0;
+      const auto interval = std::chrono::microseconds(
+          static_cast<std::int64_t>(std::max(1.0, hedge.check_interval_us)));
+      std::unique_lock lock(impl_->mutex);
+      for (;;) {
+        if (!hedge.enabled) {
+          impl_->job_done.wait(lock, [&] { return impl_->job_quiescent(); });
+          break;
+        }
+        if (impl_->job_done.wait_for(lock, interval,
+                                     [&] { return impl_->job_quiescent(); }))
+          break;
+        const int victim = impl_->find_straggler(hedge, lanes);
+        if (victim < 0) continue;
+        // Claim the straggler's ticket: from here exactly one thread (us)
+        // will ever run its task, so speculative re-execution is safe for
+        // in-place tasks too, not just disjoint-output merges. Wake the
+        // sleeping claimer so the barrier is not held hostage by its nap.
+        const auto lane = static_cast<unsigned>(victim);
+        Impl::LaneSlot& slot = impl_->slots[lane];
+        slot.ticket = true;
+        slot.hedged = true;
+        impl_->delay_cv.notify_all();
+        lock.unlock();
+
+        obs::Span::instant("pool.hedge", "lane", lane);
+        LaneStatus status = LaneStatus::kOk;
+        std::exception_ptr error;
+        {
+          obs::Span span("pool.lane", "lane", lane);
+          try {
+            task(lane);
+          } catch (...) {
+            status = LaneStatus::kThrew;
+            error = std::current_exception();
+          }
+        }
+        lock.lock();
+        slot.wall_ns = obs::detail::monotonic_ns() - slot.start_ns;
+        slot.status = status;
+        slot.error = std::move(error);
+        slot.done = true;
+        if (timed)
+          obs::LaneMetrics::instance().record_lane(lane, slot.wall_ns);
+      }
+      impl_->job_active = false;
+      impl_->job_faulty = false;
+      if (timed)
+        obs::LaneMetrics::instance().record_barrier_wait(
+            obs::detail::monotonic_ns() - b0);
+    }
+  }
+
+  // Workers are all checked out: the slots are quiescent and safe to
+  // harvest without the lock.
+  report.lanes.resize(lanes);
+  for (unsigned lane = 0; lane < lanes; ++lane) {
+    Impl::LaneSlot& slot = impl_->slots[lane];
+    LaneOutcome& outcome = report.lanes[lane];
+    outcome.status = slot.status;
+    outcome.hedged = slot.hedged;
+    outcome.injected = impl_->decisions[lane];
+    outcome.error = std::move(slot.error);
+    outcome.wall_ns = slot.wall_ns;
+    if (outcome.status != LaneStatus::kOk) ++report.failures;
+    if (outcome.injected != fault::FaultKind::kNone) ++report.injected_faults;
+    if (outcome.hedged) ++report.hedges;
+  }
+  return report;
 }
 
 ThreadPool& ThreadPool::shared() {

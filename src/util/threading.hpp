@@ -12,14 +12,88 @@
 /// Exceptions thrown by a lane are captured and rethrown on the calling
 /// thread after every lane has finished, so a failing comparator cannot
 /// leave the pool wedged.
+///
+/// Fault tolerance (src/fault): a fault::FaultPlan attached via
+/// set_fault_plan() (or the RAII fault::ScopedInjector) gives every lane a
+/// seeded chance to throw, be abandoned, or stall before its task runs —
+/// the compute-fault surface mirroring the extmem/dist injectors. The
+/// try_parallel_for_lanes() entry point reports per-lane outcomes in a
+/// LaneReport instead of throwing, completes the barrier no matter what
+/// the lanes did, and (optionally) hedges stragglers: a lane whose
+/// elapsed time exceeds HedgePolicy::factor x the median completed lane
+/// wall-time, and whose task has not started yet, is re-claimed and run by
+/// the caller — MapReduce-style speculative re-execution, safe because
+/// exactly one thread ever runs a lane's task (a claim "ticket" under the
+/// pool mutex) and lane output segments are disjoint (Theorem 14).
+/// With no plan attached, parallel_for_lanes is byte-for-byte the old
+/// allocation-free fast path; under MP_FAULT=0 the injection points do
+/// not exist at all.
 
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <memory>
 #include <vector>
 
+namespace mp::fault {
+// Forward declarations (fault/fault.hpp): the pool only stores a plan
+// pointer and per-lane decisions; only threading.cpp needs the full types.
+enum class FaultKind : std::uint8_t;
+class FaultPlan;
+}  // namespace mp::fault
+
 namespace mp {
+
+/// What ultimately happened to one lane of a try_parallel_for_lanes job.
+enum class LaneStatus : std::uint8_t {
+  kOk,         ///< task ran to completion (possibly by the hedger)
+  kThrew,      ///< task (or the injector) threw; error holds the exception
+  kAbandoned,  ///< injected dead worker: the task never ran
+};
+
+const char* to_string(LaneStatus status);
+
+/// Per-lane record of a try_parallel_for_lanes job.
+struct LaneOutcome {
+  LaneStatus status = LaneStatus::kOk;
+  bool hedged = false;  ///< task was run by the caller's straggler hedge
+  /// Injected fault decided for this lane (kNone when the schedule spared
+  /// it — a kThrew lane with kNone means the task itself threw).
+  fault::FaultKind injected = {};
+  std::exception_ptr error;    ///< set when status == kThrew
+  std::uint64_t wall_ns = 0;   ///< lane wall time incl. any injected stall
+};
+
+/// What a whole fork-join job did, lane by lane. The barrier always
+/// completes; failures are data, not control flow.
+struct LaneReport {
+  std::vector<LaneOutcome> lanes;
+  unsigned failures = 0;        ///< lanes with status != kOk
+  unsigned injected_faults = 0; ///< lanes whose schedule drew a fault
+  unsigned hedges = 0;          ///< lanes completed by the straggler hedge
+
+  bool all_ok() const { return failures == 0; }
+  /// First failed lane's exception; synthesizes a fault::LaneFault for
+  /// abandoned lanes (which have no exception of their own). Null when
+  /// all_ok().
+  std::exception_ptr first_error() const;
+};
+
+/// Straggler-hedging knobs for try_parallel_for_lanes. Disabled by
+/// default: hedging pays a periodic wakeup of the caller at the barrier,
+/// so it is opt-in (the recovery layer and benches turn it on).
+struct HedgePolicy {
+  bool enabled = false;
+  /// Hedge a lane once its elapsed time exceeds `factor` x the median
+  /// wall-time of the job's already-completed lanes.
+  double factor = 4.0;
+  /// Never hedge before this much elapsed time (guards tiny jobs where
+  /// the median is noise).
+  double min_lane_us = 200.0;
+  /// Caller wakeup period at the barrier while lanes are outstanding.
+  double check_interval_us = 100.0;
+};
 
 /// Fixed-size pool of worker threads executing fork-join lane tasks.
 ///
@@ -49,6 +123,27 @@ class ThreadPool {
   /// lanes complete; rethrows the first lane exception, if any.
   void parallel_for_lanes(unsigned lanes,
                           const std::function<void(unsigned)>& task);
+
+  /// Fault-tolerant variant: runs task(lane) for every lane, captures
+  /// every outcome (including injected faults from an attached FaultPlan)
+  /// and returns them instead of throwing. The barrier always completes —
+  /// a throwing, abandoned or stalled lane can not wedge the pool. With
+  /// `hedge.enabled`, the caller speculatively re-executes lanes that
+  /// straggle past factor x the median completed lane wall-time and whose
+  /// task has not started (first-claimer-wins via a per-lane ticket).
+  /// Same single-caller rule as parallel_for_lanes.
+  LaneReport try_parallel_for_lanes(unsigned lanes,
+                                    const std::function<void(unsigned)>& task,
+                                    const HedgePolicy& hedge = {});
+
+  /// Attaches (or detaches, with nullptr) a compute-fault schedule: each
+  /// subsequent job draws one decision per lane (OpClass::kLane) at fork
+  /// time on the calling thread, so the schedule stays a pure function of
+  /// the seed regardless of worker interleaving. Prefer the RAII
+  /// fault::ScopedInjector over calling this directly. Must not be called
+  /// while a job is in flight.
+  void set_fault_plan(fault::FaultPlan* plan);
+  fault::FaultPlan* fault_plan() const;
 
   /// Process-wide default pool, sized to the host, created on first use.
   /// Suitable for the public convenience entry points.

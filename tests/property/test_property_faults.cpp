@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "../test_support.hpp"
+#include "core/mergepath.hpp"
 #include "dist/distributed_merge.hpp"
 #include "dist/netsim.hpp"
 #include "extmem/block_device.hpp"
@@ -25,6 +26,7 @@
 #include "fault/fault.hpp"
 #include "util/data_gen.hpp"
 #include "util/rng.hpp"
+#include "util/threading.hpp"
 
 #if defined(__has_feature)
 #if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
@@ -331,6 +333,172 @@ TEST(FaultSweepDist, UnhealedPartitionFailsTypedEverywhere) {
   EXPECT_THROW(dist::distributed_sort(du, config), dist::NetError);
 }
 
+// ---------------------------------------------------------------------------
+// Compute-fault surface: lane failures inside the in-memory ThreadPool path
+// (kLaneThrow / kLaneAbandon / kLaneDelay) and the recovery layer that
+// re-executes only the failed lanes' disjoint segments (core/recovery.hpp).
+
+struct LaneSweepOutcome {
+  std::vector<std::int32_t> merged, sorted;
+  std::uint64_t schedule_hash = 0;
+  fault::FaultStats fault_stats;
+  RecoveryReport merge_report, sort_report;
+};
+
+/// A resilient merge and merge sort on a pool armed with a seeded 10%
+/// lane-fault schedule. Recovery guarantees completion (retries, then a
+/// caller-side sequential fallback), so unlike the extmem/dist sweeps
+/// there is no "typed failure" arm — only byte-exact output or a test
+/// failure.
+LaneSweepOutcome run_faulty_lanes(const MergeInput& input,
+                                  const std::vector<std::int32_t>& unsorted,
+                                  std::uint64_t seed) {
+  ThreadPool pool(3);
+  // Short stalls (200 us) keep the sweep fast; the hedger is exercised
+  // separately (test_threading) where timing can be controlled.
+  fault::FaultPlan plan(fault::FaultConfig{seed, kFaultRate, 250.0, 200.0});
+  fault::ScopedInjector injector(pool, plan);
+  const Executor exec{&pool, 4};
+  LaneSweepOutcome out;
+  out.merged.resize(input.a.size() + input.b.size());
+  out.merge_report = resilient_parallel_merge(
+      input.a.data(), input.a.size(), input.b.data(), input.b.size(),
+      out.merged.data(), exec);
+  out.sorted = unsorted;
+  out.sort_report =
+      resilient_parallel_merge_sort(out.sorted.data(), out.sorted.size(), exec);
+  out.schedule_hash = plan.schedule_hash();
+  out.fault_stats = plan.stats();
+  return out;
+}
+
+TEST(FaultSweepLanes, RecoveryIsByteExactAcrossSeeds) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  const auto input = make_merge_input(Dist::kClustered, 1700, 1300, 0xbee);
+  const auto unsorted = make_unsorted_values(2500, 0xbef);
+  const auto merged_ref = test::reference_merge(input.a, input.b);
+  auto sorted_ref = unsorted;
+  std::sort(sorted_ref.begin(), sorted_ref.end());
+  std::uint64_t injected_total = 0, retried_total = 0;
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "fault seed=" << seed);
+    const LaneSweepOutcome outcome = run_faulty_lanes(input, unsorted, seed);
+    injected_total += outcome.fault_stats.injected;
+    retried_total += outcome.merge_report.retried_lanes +
+                     outcome.sort_report.retried_lanes;
+    // The acceptance criterion: despite injected lane crashes, dead
+    // workers and stalls, the recovered output is the fault-free result,
+    // byte for byte.
+    ASSERT_EQ(outcome.merged, merged_ref);
+    ASSERT_EQ(outcome.sorted, sorted_ref);
+  }
+  // The schedules must actually be biting for the sweep to mean anything.
+  EXPECT_GT(injected_total, kSweepSeeds);  // >1 fault per seed on average
+  EXPECT_GT(retried_total, 0u);
+}
+
+TEST(FaultSweepLanes, TryApiCompletesOrReportsTypedOutcomes) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  // The raw pool contract under random schedules: the barrier always
+  // completes, and every lane is either kOk (task ran exactly once) or a
+  // typed injected outcome — never a lost lane, never a deadlock.
+  ThreadPool pool(3);
+  for (std::uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    SCOPED_TRACE(::testing::Message() << "fault seed=" << seed);
+    fault::FaultPlan plan(fault::FaultConfig{seed, 0.25, 250.0, 100.0});
+    fault::ScopedInjector injector(pool, plan);
+    std::vector<std::atomic<int>> hits(8);
+    const LaneReport report = pool.try_parallel_for_lanes(
+        8, [&](unsigned lane) { hits[lane].fetch_add(1); });
+    ASSERT_EQ(report.lanes.size(), 8u);
+    for (unsigned lane = 0; lane < 8; ++lane) {
+      const LaneOutcome& o = report.lanes[lane];
+      if (o.status == LaneStatus::kOk) {
+        ASSERT_EQ(hits[lane].load(), 1) << "lane " << lane;
+        continue;
+      }
+      ASSERT_EQ(hits[lane].load(), 0) << "lane " << lane;  // fired pre-task
+      ASSERT_NE(o.injected, fault::FaultKind::kNone);
+      try {
+        std::rethrow_exception(LaneReport{{o}, 1, 1, 0}.first_error());
+        FAIL() << "failed lane must carry a typed error";
+      } catch (const fault::LaneFault&) {
+      }
+    }
+  }
+}
+
+TEST(FaultSweepLanes, SameSeedReplaysByteIdentically) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  const auto input = make_merge_input(Dist::kFewDuplicates, 1100, 900, 0xace);
+  const auto unsorted = make_unsorted_values(1600, 0xacf);
+  for (const std::uint64_t seed : {2ull, 23ull, 0x1a7eull}) {
+    SCOPED_TRACE(::testing::Message() << "fault seed=" << seed);
+    const LaneSweepOutcome first = run_faulty_lanes(input, unsorted, seed);
+    const LaneSweepOutcome second = run_faulty_lanes(input, unsorted, seed);
+    // Decisions are drawn at fork time on the caller thread (lane order),
+    // so the whole schedule — and everything downstream of it — is a pure
+    // function of the seed, independent of worker interleaving.
+    ASSERT_EQ(first.schedule_hash, second.schedule_hash);
+    ASSERT_TRUE(first.fault_stats == second.fault_stats);
+    ASSERT_EQ(first.merged, second.merged);
+    ASSERT_EQ(first.sorted, second.sorted);
+    ASSERT_EQ(first.merge_report.injected_faults,
+              second.merge_report.injected_faults);
+    ASSERT_EQ(first.merge_report.retried_lanes,
+              second.merge_report.retried_lanes);
+    ASSERT_EQ(first.merge_report.attempts, second.merge_report.attempts);
+    ASSERT_EQ(first.sort_report.injected_faults,
+              second.sort_report.injected_faults);
+    ASSERT_EQ(first.sort_report.retried_lanes,
+              second.sort_report.retried_lanes);
+    ASSERT_EQ(first.sort_report.attempts, second.sort_report.attempts);
+  }
+}
+
+TEST(FaultSweepLanes, TotalLossDegradesToSequentialFallback) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  // Rate 1.0: every pooled attempt of every lane draws a fault. Delay
+  // draws still complete (stall, then run), but throw/abandon draws can
+  // keep a lane failing through every retry — recovery must exhaust its
+  // budget and finish the stragglers on the calling thread (which the
+  // injector cannot reach), still byte-exact.
+  const auto input = make_merge_input(Dist::kUniform, 800, 800, 0xdead);
+  const auto merged_ref = test::reference_merge(input.a, input.b);
+  ThreadPool pool(3);
+  fault::FaultPlan plan(fault::FaultConfig{5, 1.0, 250.0, 100.0});
+  fault::ScopedInjector injector(pool, plan);
+  const Executor exec{&pool, 4};
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  RecoveryConfig cfg;
+  cfg.retry.max_attempts = 3;  // keep the doomed retries short
+  const RecoveryReport report = resilient_parallel_merge(
+      input.a.data(), input.a.size(), input.b.data(), input.b.size(),
+      out.data(), exec, std::less<>{}, cfg);
+  EXPECT_EQ(out, merged_ref);
+  EXPECT_TRUE(report.degraded());
+  EXPECT_GE(report.fallback_lanes, 1u);
+  EXPECT_GE(report.attempts, 3u);
+}
+
+TEST(FaultSweepLanes, GenuineExceptionsAreNotRetried) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  // A real bug in the task (not an injected fault) must surface on the
+  // first attempt: retrying user errors would mask them and burn time.
+  ThreadPool pool(3);
+  const Executor exec{&pool, 4};
+  std::atomic<int> runs{0};
+  try {
+    run_lanes_with_recovery(exec.resolve_pool(), 4, [&](unsigned lane) {
+      runs.fetch_add(1);
+      if (lane == 2) throw std::logic_error("task bug");
+    });
+    FAIL() << "the task's own exception must propagate";
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_LE(runs.load(), 4);  // one attempt, no retry of the buggy lane
+}
+
 TEST(FaultGate, CompiledOutInjectorsAreInert) {
   if (fault::kFaultCompiledIn)
     GTEST_SKIP() << "covered by the armed tests above";
@@ -355,6 +523,26 @@ TEST(FaultGate, CompiledOutInjectorsAreInert) {
   const auto result = dist::merge_path_exchange(
       dist::distribute(input.a, 4), dist::distribute(input.b, 4), net_config);
   EXPECT_EQ(result.merged.gathered(), test::reference_merge(input.a, input.b));
+
+  // Compute-fault surface: the pool with a hot plan attached must run the
+  // plain and resilient entry points untouched — no decisions drawn, no
+  // faults, no retries, no fallback.
+  ThreadPool pool(2);
+  fault::ScopedInjector pool_injector(pool, plan);
+  const Executor exec{&pool, 3};
+  std::vector<std::int32_t> merged(input.a.size() + input.b.size());
+  const RecoveryReport recovery = resilient_parallel_merge(
+      input.a.data(), input.a.size(), input.b.data(), input.b.size(),
+      merged.data(), exec);
+  EXPECT_EQ(merged, test::reference_merge(input.a, input.b));
+  EXPECT_EQ(recovery.injected_faults, 0u);
+  EXPECT_EQ(recovery.retried_lanes, 0u);
+  EXPECT_EQ(recovery.fallback_lanes, 0u);
+  const LaneReport lane_report =
+      pool.try_parallel_for_lanes(5, [](unsigned) {});
+  EXPECT_TRUE(lane_report.all_ok());
+  EXPECT_EQ(lane_report.injected_faults, 0u);
+
   EXPECT_EQ(plan.stats().decisions, 0u);
   EXPECT_EQ(result.net.faults_injected, 0u);
 }

@@ -1,15 +1,23 @@
 // Tests for the fork-join engine (ThreadPool / Executor): lane coverage,
 // work sharing, exception capture, serial-pool determinism, and reuse
-// across many small jobs (the pattern the algorithm tests hammer).
+// across many small jobs (the pattern the algorithm tests hammer) — plus
+// the fault-tolerant surface: try_parallel_for_lanes outcome reporting,
+// injected lane faults, straggler hedging, and the guarantee that a
+// throwing/abandoned lane can never wedge the barrier (run under TSan in
+// CI).
 
 #include "util/threading.hpp"
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "fault/fault.hpp"
 
 namespace mp {
 namespace {
@@ -82,6 +90,159 @@ TEST(ThreadPool, ParallelSumMatchesSerial) {
   });
   const long total = std::accumulate(partial.begin(), partial.end(), 0L);
   EXPECT_EQ(total, 100000L * 99999 / 2);
+}
+
+TEST(ThreadPoolTry, CleanJobReportsAllOk) {
+  ThreadPool pool(3);
+  for (unsigned lanes : {1u, 4u, 32u}) {
+    std::vector<std::atomic<int>> hits(lanes);
+    const LaneReport report = pool.try_parallel_for_lanes(
+        lanes, [&](unsigned lane) { hits[lane].fetch_add(1); });
+    EXPECT_TRUE(report.all_ok());
+    EXPECT_EQ(report.lanes.size(), lanes);
+    EXPECT_EQ(report.failures, 0u);
+    EXPECT_EQ(report.injected_faults, 0u);
+    EXPECT_EQ(report.first_error(), nullptr);
+    for (unsigned lane = 0; lane < lanes; ++lane) {
+      EXPECT_EQ(hits[lane].load(), 1) << "lane " << lane;
+      EXPECT_EQ(report.lanes[lane].status, LaneStatus::kOk);
+    }
+  }
+}
+
+TEST(ThreadPoolTry, GenuineThrowIsDataNotControlFlow) {
+  ThreadPool pool(3);
+  const LaneReport report = pool.try_parallel_for_lanes(8, [](unsigned lane) {
+    if (lane % 3 == 1) throw std::runtime_error("lane down");
+  });
+  EXPECT_FALSE(report.all_ok());
+  EXPECT_EQ(report.failures, 3u);  // lanes 1, 4, 7
+  EXPECT_EQ(report.injected_faults, 0u);
+  for (unsigned lane = 0; lane < 8; ++lane) {
+    const LaneOutcome& o = report.lanes[lane];
+    if (lane % 3 == 1) {
+      EXPECT_EQ(o.status, LaneStatus::kThrew) << "lane " << lane;
+      EXPECT_EQ(o.injected, fault::FaultKind::kNone);
+      EXPECT_NE(o.error, nullptr);
+    } else {
+      EXPECT_EQ(o.status, LaneStatus::kOk) << "lane " << lane;
+    }
+  }
+  EXPECT_THROW(std::rethrow_exception(report.first_error()),
+               std::runtime_error);
+}
+
+// The no-deadlock guarantee, hammered: every lane of every job throws, the
+// barrier must complete every time and the pool must stay reusable. This
+// is the test the CI TSan job leans on.
+TEST(ThreadPoolTry, ThrowingLanesNeverDeadlockAcrossReuse) {
+  ThreadPool pool(3);
+  for (int job = 0; job < 200; ++job) {
+    const LaneReport report = pool.try_parallel_for_lanes(
+        6, [](unsigned) -> void { throw std::runtime_error("total loss"); });
+    ASSERT_EQ(report.failures, 6u) << "job " << job;
+  }
+  std::atomic<int> sum{0};
+  pool.parallel_for_lanes(8,
+                          [&](unsigned lane) { sum += static_cast<int>(lane); });
+  EXPECT_EQ(sum.load(), 28);
+}
+
+TEST(ThreadPoolTry, SerialPoolCapturesOutcomesInline) {
+  ThreadPool pool(0);
+  const LaneReport report = pool.try_parallel_for_lanes(4, [](unsigned lane) {
+    if (lane == 2) throw std::runtime_error("inline lane");
+  });
+  EXPECT_EQ(report.failures, 1u);
+  EXPECT_EQ(report.lanes[2].status, LaneStatus::kThrew);
+  EXPECT_EQ(report.lanes[3].status, LaneStatus::kOk);  // barrier went on
+}
+
+TEST(ThreadPoolTry, InjectedThrowAndAbandonAreTypedOutcomes) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  ThreadPool pool(3);
+  fault::FaultPlan plan;
+  plan.fail_op(0, fault::FaultKind::kLaneThrow);    // lane 0's decision
+  plan.fail_op(1, fault::FaultKind::kLaneAbandon);  // lane 1's decision
+  fault::ScopedInjector injector(pool, plan);
+  std::vector<std::atomic<int>> hits(4);
+  const LaneReport report = pool.try_parallel_for_lanes(
+      4, [&](unsigned lane) { hits[lane].fetch_add(1); });
+  EXPECT_EQ(report.failures, 2u);
+  EXPECT_EQ(report.injected_faults, 2u);
+  EXPECT_EQ(report.lanes[0].status, LaneStatus::kThrew);
+  EXPECT_EQ(report.lanes[0].injected, fault::FaultKind::kLaneThrow);
+  EXPECT_EQ(report.lanes[1].status, LaneStatus::kAbandoned);
+  EXPECT_EQ(report.lanes[1].injected, fault::FaultKind::kLaneAbandon);
+  // Faulted lanes fire *before* the task: neither ever ran.
+  EXPECT_EQ(hits[0].load(), 0);
+  EXPECT_EQ(hits[1].load(), 0);
+  EXPECT_EQ(hits[2].load(), 1);
+  EXPECT_EQ(hits[3].load(), 1);
+  try {
+    std::rethrow_exception(report.first_error());
+    FAIL() << "expected a LaneFault";
+  } catch (const fault::LaneFault& error) {
+    EXPECT_EQ(error.kind(), fault::FaultKind::kLaneThrow);
+    EXPECT_EQ(error.lane(), 0u);
+  }
+}
+
+TEST(ThreadPoolTry, ParallelForLanesRethrowsInjectedFault) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  ThreadPool pool(2);
+  fault::FaultPlan plan;
+  plan.fail_op(3, fault::FaultKind::kLaneThrow);
+  fault::ScopedInjector injector(pool, plan);
+  // The plain entry point routes through the tolerant path when a plan is
+  // attached, so the injected fault surfaces as a typed exception...
+  EXPECT_THROW(pool.parallel_for_lanes(6, [](unsigned) {}), fault::LaneFault);
+  // ...and the pool is immediately reusable (barrier completed).
+  std::atomic<int> ran{0};
+  pool.parallel_for_lanes(6, [&](unsigned) { ran.fetch_add(1); });
+  EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(ThreadPoolTry, HedgeCompletesADelayedLane) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  ThreadPool pool(3);
+  HedgePolicy hedge;
+  hedge.enabled = true;
+  hedge.factor = 1.0;
+  hedge.min_lane_us = 50.0;
+  hedge.check_interval_us = 200.0;
+  // Two lanes: the caller grabs lane 0 (a real 5 ms task, so the completed
+  // median is meaningful) and a worker picks up lane 1, whose injected
+  // 100 ms stall is cancellable. The caller reaches the barrier, sees the
+  // straggler past factor x median, claims its ticket and runs it — the
+  // sleeping worker wakes, finds the ticket gone, and walks away. If the
+  // claim race goes the other way (caller draws the stall; a lane cannot
+  // hedge itself) that attempt just sleeps it off — so retry a few times.
+  bool hedged = false;
+  for (int attempt = 0; attempt < 8 && !hedged; ++attempt) {
+    fault::FaultConfig config;
+    config.lane_delay_us = 100000.0;
+    fault::FaultPlan plan(config);
+    plan.fail_op(1, fault::FaultKind::kLaneDelay);  // lane 1's decision
+    fault::ScopedInjector injector(pool, plan);
+    std::vector<std::atomic<int>> hits(2);
+    const LaneReport report = pool.try_parallel_for_lanes(
+        2,
+        [&](unsigned lane) {
+          if (lane == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+          hits[lane].fetch_add(1);
+        },
+        hedge);
+    ASSERT_TRUE(report.all_ok()) << "attempt " << attempt;
+    ASSERT_EQ(hits[0].load(), 1);
+    ASSERT_EQ(hits[1].load(), 1);  // exactly once, ticket or not
+    hedged = report.hedges > 0;
+    if (hedged) {
+      EXPECT_TRUE(report.lanes[1].hedged);
+    }
+  }
+  EXPECT_TRUE(hedged) << "no attempt hedged the stalled lane";
 }
 
 TEST(Executor, DefaultsResolveToSharedPool) {
