@@ -1,14 +1,26 @@
 // Experiment E10 (micro half) — google-benchmark microbenchmarks of the
 // primitives: the diagonal binary search vs the Deo-Sarkar halving
-// selection, the full path partition, the three sequential merge kernels,
-// the loser tree, and multiway selection.
+// selection, the full path partition, the sequential merge kernels, the
+// loser tree, and multiway selection — plus the kernel ablation family
+// (BM_KernelMerge32/64) that scripts/bench_kernels.py turns into
+// BENCH_5.json. Carries its own main(): --kernel <name> is stripped
+// before google-benchmark sees argv, forces the dispatch choice for every
+// benchmark, and restricts the ablation family to that kernel. An
+// unknown name exits 2; a known-but-unsupported one prints a skip notice
+// and exits 0 so CI can request avx2 unconditionally.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "baselines/deo_sarkar.hpp"
 #include "core/mergepath.hpp"
 #include "core/multiway_merge.hpp"
+#include "kernels/kernels.hpp"
 #include "util/data_gen.hpp"
+#include "util/hw.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -110,19 +122,14 @@ void BM_BranchlessMergeKernel(benchmark::State& state) {
   const auto input = make_merge_input(Dist::kUniform, n, n, 42);
   std::vector<std::int32_t> out(2 * n);
   for (auto _ : state) {
-    std::size_t i = 0, j = 0, written = 0;
-    while (written < 2 * n) {
-      const std::size_t safe =
-          branchless_safe_steps(n, n, i, j, 2 * n - written);
-      if (safe == 0) {
-        merge_steps(input.a.data(), n, input.b.data(), n, &i, &j,
-                    out.data() + written, 2 * n - written);
-        break;
-      }
-      branchless_merge_steps(input.a.data(), input.b.data(), &i, &j,
-                             out.data() + written, safe);
-      written += safe;
-    }
+    // The first-class tail-fallback contract (src/kernels): branchless
+    // prefix, scalar remainder. This used to be a hand-rolled padding
+    // loop here.
+    std::size_t i = 0, j = 0;
+    const std::size_t written = kernels::branchless_merge_bounded(
+        input.a.data(), n, input.b.data(), n, &i, &j, out.data(), 2 * n);
+    merge_steps(input.a.data(), n, input.b.data(), n, &i, &j,
+                out.data() + written, 2 * n - written);
     benchmark::DoNotOptimize(out.data());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(2 * n) *
@@ -175,4 +182,126 @@ void BM_MultiwaySelect(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiwaySelect)->Arg(2)->Arg(8)->Arg(64);
 
+// --- Kernel ablation (BENCH_5) -------------------------------------------
+// One benchmark per dispatchable kernel on a pinned input (uniform, seed
+// 42, m = n = 64 Ki — in-L2 so the measurement is kernel-bound, not
+// DRAM-bound). scripts/bench_kernels.py runs this family with
+// --benchmark_format=json and emits results/BENCH_5.json (ns/element per
+// kernel, speedup vs scalar).
+
+constexpr std::size_t kAblationN = 1 << 16;
+
+void run_kernel_merge32(benchmark::State& state, kernels::Kernel kernel) {
+  const auto input = make_merge_input(Dist::kUniform, kAblationN, kAblationN,
+                                      42);
+  std::vector<std::int32_t> out(2 * kAblationN);
+  const kernels::Kernel previous = kernels::selected_kernel();
+  kernels::set_kernel(kernel);
+  for (auto _ : state) {
+    std::size_t i = 0, j = 0;
+    kernels::merge_steps_auto(input.a.data(), kAblationN, input.b.data(),
+                              kAblationN, &i, &j, out.data(),
+                              2 * kAblationN);
+    benchmark::DoNotOptimize(out.data());
+  }
+  kernels::set_kernel(previous);
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * kAblationN) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void run_kernel_merge64(benchmark::State& state, kernels::Kernel kernel) {
+  // Same pinned keys widened to 64 bits (order-preserving), exercising
+  // the half-width lane variants.
+  const auto input = make_merge_input(Dist::kUniform, kAblationN, kAblationN,
+                                      42);
+  std::vector<std::int64_t> a(kAblationN), b(kAblationN);
+  for (std::size_t k = 0; k < kAblationN; ++k) {
+    a[k] = static_cast<std::int64_t>(input.a[k]) << 16;
+    b[k] = static_cast<std::int64_t>(input.b[k]) << 16;
+  }
+  std::vector<std::int64_t> out(2 * kAblationN);
+  const kernels::Kernel previous = kernels::selected_kernel();
+  kernels::set_kernel(kernel);
+  for (auto _ : state) {
+    std::size_t i = 0, j = 0;
+    kernels::merge_steps_auto(a.data(), kAblationN, b.data(), kAblationN, &i,
+                              &j, out.data(), 2 * kAblationN);
+    benchmark::DoNotOptimize(out.data());
+  }
+  kernels::set_kernel(previous);
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * kAblationN) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void register_kernel_ablation(bool restrict_to_selected) {
+  for (const kernels::Kernel kernel : kernels::kAllKernels) {
+    if (!kernels::kernel_supported(kernel)) continue;
+    if (restrict_to_selected && kernel != kernels::selected_kernel())
+      continue;
+    const std::string name = kernels::to_string(kernel);
+    benchmark::RegisterBenchmark(
+        ("BM_KernelMerge32/" + name).c_str(),
+        [kernel](benchmark::State& state) {
+          run_kernel_merge32(state, kernel);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_KernelMerge64/" + name).c_str(),
+        [kernel](benchmark::State& state) {
+          run_kernel_merge64(state, kernel);
+        });
+  }
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Pre-parse --kernel: google-benchmark rejects flags it doesn't know,
+  // and the dispatch choice must be applied before registration.
+  std::string forced;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--kernel") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --kernel needs a value "
+                             "(scalar|branchless|sse4|avx2)\n");
+        return 2;
+      }
+      forced = argv[++i];
+    } else if (std::strncmp(argv[i], "--kernel=", 9) == 0) {
+      forced = argv[i] + 9;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!forced.empty()) {
+    const auto kernel = kernels::parse_kernel(forced);
+    if (!kernel) {
+      std::fprintf(stderr,
+                   "error: unknown --kernel '%s' "
+                   "(scalar|branchless|sse4|avx2)\n",
+                   forced.c_str());
+      return 2;
+    }
+    if (!kernels::set_kernel(*kernel)) {
+      // Graceful skip: CI asks for avx2 unconditionally and treats a
+      // host without it as "nothing to measure", not a failure.
+      std::printf("bench_micro: kernel %s not supported on this host/build "
+                  "(%s); skipping\n",
+                  forced.c_str(), kernels::kernel_banner().c_str());
+      return 0;
+    }
+  }
+  // stderr: --benchmark_format=json readers own stdout.
+  std::fprintf(stderr, "bench_micro: %s; host: %s\n",
+               kernels::kernel_banner().c_str(),
+               describe(host_info()).c_str());
+  register_kernel_ablation(!forced.empty());
+
+  int bargc = static_cast<int>(args.size());
+  benchmark::Initialize(&bargc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(bargc, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

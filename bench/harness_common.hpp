@@ -11,13 +11,19 @@
 ///   --seed N       workload seed (default 42)
 ///   --trace F      write a Chrome/Perfetto trace of the whole run to F
 ///   --lane-metrics F  write the per-lane metrics report (JSON) to F
+///   --kernel K     force the per-lane merge kernel
+///                  (scalar|branchless|sse4|avx2); unknown or unsupported
+///                  names exit 2. The banner always names the kernel in
+///                  effect and the detected ISA.
 /// Every harness exits non-zero on unknown flags so sweep typos surface.
 
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
 
+#include "kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/cli.hpp"
@@ -35,6 +41,9 @@ struct Harness {
   std::uint64_t seed = 42;
   std::string trace_path;
   std::string lane_metrics_path;
+  /// Set when --kernel forced a dispatch choice (harnesses that sweep
+  /// kernels, like table_overhead, restrict their sweep to it).
+  std::optional<kernels::Kernel> forced_kernel;
 
   Harness(int argc, const char* const* argv, const char* experiment_id,
           const char* title)
@@ -48,11 +57,30 @@ struct Harness {
     seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
     trace_path = cli.get("trace", "");
     lane_metrics_path = cli.get("lane-metrics", "");
+    const std::string kernel_name = cli.get("kernel", "");
+    if (!kernel_name.empty()) {
+      const auto kernel = kernels::parse_kernel(kernel_name);
+      if (!kernel) {
+        std::cerr << "error: unknown --kernel '" << kernel_name
+                  << "' (scalar|branchless|sse4|avx2)\n";
+        std::exit(2);
+      }
+      if (!kernels::set_kernel(*kernel)) {
+        std::cerr << "error: --kernel " << kernel_name
+                  << " is not supported on this host/build ("
+                  << isa_string(cpu_features())
+                  << (kernels::kSimdCompiledIn ? "" : ", SIMD compiled out")
+                  << ")\n";
+        std::exit(2);
+      }
+      forced_kernel = *kernel;
+    }
     if (!trace_path.empty()) obs::arm_tracing();
     if (!lane_metrics_path.empty()) obs::LaneMetrics::instance().arm();
     if (!csv) {
       std::cout << "== " << experiment_id << ": " << title << " ==\n"
-                << "host: " << describe(host_info()) << "\n";
+                << "host: " << describe(host_info()) << "\n"
+                << kernels::kernel_banner() << "\n";
     }
   }
 

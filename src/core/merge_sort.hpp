@@ -30,6 +30,7 @@
 #include "core/merge_path.hpp"
 #include "core/parallel_merge.hpp"
 #include "core/sequential_merge.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/threading.hpp"
@@ -97,8 +98,8 @@ void sequential_merge_sort(T* data, T* scratch, std::size_t n, Comp comp = {},
       const std::size_t mid = std::min(begin + width, n);
       const std::size_t end = std::min(begin + 2 * width, n);
       std::size_t i = 0, j = 0;
-      merge_steps(src + begin, mid - begin, src + mid, end - mid, &i, &j,
-                  dst + begin, end - begin, comp, instr);
+      kernels::merge_steps_auto(src + begin, mid - begin, src + mid, end - mid,
+                                &i, &j, dst + begin, end - begin, comp, instr);
     }
     std::swap(src, dst);
   }
@@ -189,8 +190,8 @@ std::vector<Run> merge_round_impl(const T* src, T* dst,
       }
       std::size_t i = start.i;
       std::size_t j = start.j;
-      merge_steps(src + pr.a.begin, m, src + pr.b.begin, n2, &i, &j,
-                  dst + s0, s1 - s0, comp, li);
+      kernels::merge_steps_auto(src + pr.a.begin, m, src + pr.b.begin, n2, &i,
+                                &j, dst + s0, s1 - s0, comp, li);
     }
   });
   return merged;
@@ -368,8 +369,8 @@ void parallel_merge_sort_openmp(T* data, std::size_t n, unsigned threads,
             comp);
         std::size_t i = start.i;
         std::size_t j = start.j;
-        merge_steps(src + pr.a.begin, m, src + pr.b.begin, n2, &i, &j,
-                    dst + s0, s1 - s0, comp);
+        kernels::merge_steps_auto(src + pr.a.begin, m, src + pr.b.begin, n2,
+                                  &i, &j, dst + s0, s1 - s0, comp);
       }
     }
     runs = std::move(merged);

@@ -216,6 +216,18 @@ void parallel_multiway_merge(std::span<const std::span<const T>> runs, T* out,
   MP_CHECK(instr.empty() || instr.size() >= lanes);
   obs::Span mwm_span("mwm", "n", total);
 
+  if (runs.size() == 2 && instr.empty()) {
+    // Pairwise fallback: two runs are exactly Algorithm 1, whose diagonal
+    // search is cheaper than multiway selection and whose per-lane kernel
+    // can take the dispatched vector path (LoserTree pops are inherently
+    // scalar). Lower-run-wins tie breaking IS A-priority, so the output is
+    // identical. Instrumented calls keep the LoserTree so the modelled
+    // log-k compare counts stay honest.
+    parallel_merge(runs[0].data(), runs[0].size(), runs[1].data(),
+                   runs[1].size(), out, exec, comp);
+    return;
+  }
+
   exec.resolve_pool().parallel_for_lanes(lanes, [&](unsigned lane) {
     Instr* li = instr.empty() ? nullptr : &instr[lane];
     const std::size_t r0 = lane * total / lanes;

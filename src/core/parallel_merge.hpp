@@ -29,6 +29,7 @@
 #include "core/instrument.hpp"
 #include "core/merge_path.hpp"
 #include "core/sequential_merge.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/threading.hpp"
@@ -91,8 +92,11 @@ void parallel_merge(IterA a, std::size_t m, IterB b, std::size_t n,
     obs::Span span("merge.segment", "lane", lane);
     std::size_t i = slice.a_begin;
     std::size_t j = slice.b_begin;
-    merge_steps(a, m, b, n, &i, &j, out + static_cast<std::ptrdiff_t>(slice.out_begin),
-                slice.steps, comp, li);
+    // Per-lane kernel: routed through the dispatcher (scalar / branchless
+    // / SIMD — byte-identical by contract, see src/kernels).
+    kernels::merge_steps_auto(a, m, b, n, &i, &j,
+                              out + static_cast<std::ptrdiff_t>(slice.out_begin),
+                              slice.steps, comp, li);
   });
 }
 
@@ -140,9 +144,9 @@ void parallel_merge_openmp(IterA a, std::size_t m, IterB b, std::size_t n,
           merge_slice_for_lane(a, m, b, n, lane, actual, comp);
       std::size_t i = slice.a_begin;
       std::size_t j = slice.b_begin;
-      merge_steps(a, m, b, n, &i, &j,
-                  out + static_cast<std::ptrdiff_t>(slice.out_begin),
-                  slice.steps, comp);
+      kernels::merge_steps_auto(a, m, b, n, &i, &j,
+                                out + static_cast<std::ptrdiff_t>(slice.out_begin),
+                                slice.steps, comp);
     }
   }  // implicit barrier — the "Barrier" closing Algorithm 1
 }

@@ -49,11 +49,13 @@
 /// recover from.
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <exception>
 #include <functional>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "core/merge_sort.hpp"
@@ -68,9 +70,13 @@ namespace mp {
 
 /// Knobs of the recovery engine: the retry budget (attempts are whole
 /// submissions, first try included) and the straggler-hedging policy
-/// applied to every submission.
+/// applied to every submission. Unlike the extmem run-file layer, where
+/// backoff_us is modeled device latency, here it is a REAL wall-clock
+/// sleep before each re-submission (doubling per retry); the default is 0
+/// so compute retries stay immediate — in-memory lane faults are not
+/// congestion, so waiting is opt-in for callers pacing a shared pool.
 struct RecoveryConfig {
-  fault::RetryPolicy retry{};
+  fault::RetryPolicy retry{/*max_attempts=*/8, /*backoff_us=*/0.0};
   HedgePolicy hedge{};
 };
 
@@ -136,7 +142,15 @@ inline RecoveryReport run_lanes_with_recovery(
   harvest(pool.try_parallel_for_lanes(lanes, task, cfg.hedge), nullptr);
 
   const unsigned budget = std::max(1u, cfg.retry.max_attempts);
+  double backoff_us = cfg.retry.backoff_us;
   while (!failed.empty() && report.attempts < budget) {
+    if (backoff_us > 0.0) {
+      // Pay the configured backoff before re-submitting, doubling per
+      // retry like the extmem layer — except this one is real time.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(backoff_us));
+      backoff_us *= 2.0;
+    }
     // Re-submit only the failed lanes' disjoint segments as one smaller
     // job. Retries draw fresh schedule positions, so a lane can be hit
     // again; the attempt budget keeps that finite.
@@ -204,9 +218,12 @@ RecoveryReport resilient_parallel_merge(IterA a, std::size_t m, IterB b,
         obs::Span span("merge.segment", "lane", lane);
         std::size_t i = slice.a_begin;
         std::size_t j = slice.b_begin;
-        merge_steps(a, m, b, n, &i, &j,
-                    out + static_cast<std::ptrdiff_t>(slice.out_begin),
-                    slice.steps, comp);
+        // Same dispatched kernel as the plain merge: a recovered run stays
+        // byte-identical to a clean one whichever kernel is selected.
+        kernels::merge_steps_auto(
+            a, m, b, n, &i, &j,
+            out + static_cast<std::ptrdiff_t>(slice.out_begin), slice.steps,
+            comp);
       },
       cfg);
 }

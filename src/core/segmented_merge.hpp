@@ -28,6 +28,7 @@
 #include "core/instrument.hpp"
 #include "core/merge_path.hpp"
 #include "core/sequential_merge.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/hw.hpp"
@@ -149,8 +150,16 @@ SegmentedStats segmented_parallel_merge(const T* a, std::size_t m, const T* b,
     const std::size_t seg_len = std::min(L, total - out_pos);
     MP_ASSERT(seg_len <= win_a + win_b);
 
-    CyclicView<T> va(ring_a.data(), L, a_done % L);
-    CyclicView<T> vb(ring_b.data(), L, b_done % L);
+    const std::size_t a_head = a_done % L;
+    const std::size_t b_head = b_done % L;
+    CyclicView<T> va(ring_a.data(), L, a_head);
+    CyclicView<T> vb(ring_b.data(), L, b_head);
+    // When a staged window does not wrap around its ring it is a plain
+    // contiguous array, and the in-cache segment merge can take the
+    // dispatched (possibly vector) kernel; a wrapped window stays on the
+    // CyclicView + scalar path. Same windows, same path, same output.
+    const T* flat_a = a_head + win_a <= L ? ring_a.data() + a_head : nullptr;
+    const T* flat_b = b_head + win_b <= L ? ring_b.data() + b_head : nullptr;
 
     // --- Step 2: parallel partition + merge of this segment (Theorem 16:
     // the p start points depend only on the staged windows).
@@ -161,12 +170,21 @@ SegmentedStats segmented_parallel_merge(const T* a, std::size_t m, const T* b,
       const std::size_t d0 = lane * seg_len / lanes;
       const std::size_t d1 = (lane + 1ull) * seg_len / lanes;
       if (d0 == d1) return;
-      const PathPoint start =
-          path_point_on_diagonal(va, win_a, vb, win_b, d0, comp, li);
-      std::size_t i = start.i;
-      std::size_t j = start.j;
-      merge_steps(va, win_a, vb, win_b, &i, &j, seg_out.data() + d0, d1 - d0,
-                  comp, li);
+      if (flat_a && flat_b) {
+        const PathPoint start =
+            path_point_on_diagonal(flat_a, win_a, flat_b, win_b, d0, comp, li);
+        std::size_t i = start.i;
+        std::size_t j = start.j;
+        kernels::merge_steps_auto(flat_a, win_a, flat_b, win_b, &i, &j,
+                                  seg_out.data() + d0, d1 - d0, comp, li);
+      } else {
+        const PathPoint start =
+            path_point_on_diagonal(va, win_a, vb, win_b, d0, comp, li);
+        std::size_t i = start.i;
+        std::size_t j = start.j;
+        merge_steps(va, win_a, vb, win_b, &i, &j, seg_out.data() + d0, d1 - d0,
+                    comp, li);
+      }
     });
 
     // Consumed counts for this segment = path point at local diagonal

@@ -1,0 +1,180 @@
+// merge_avx2.cpp — AVX2 vector merge loops: 8-wide for 32-bit keys,
+// 4-wide for 64-bit. Compiled with -mavx2 (bench/docs call this the
+// "avx2" kernel); reached only through kernels::detail dispatch after
+// cpuid reported AVX2.
+//
+// Per vector step (width W):
+//   va  = a[i .. i+W)                      (ascending)
+//   vbr = reverse(b[j .. j+W))             (descending)
+//   k   = |{t : a[i+t] <= b[j+W-1-t]}|     anti-diagonal take count; the
+//         predicate is monotone (a row ascends, the reversed b row
+//         descends) so k is the Merge Path split of this 2W window and
+//         advancing (i += k, j += W-k) lands exactly where the scalar
+//         A-priority kernel would after W steps.
+//   lo  = min(va, vbr)                     the W smallest of the window,
+//         as a bitonic sequence (ascending prefix of A-half, descending
+//         suffix of B-half), finished by a log2(W)-level bitonic
+//         min/max exchange network into ascending order.
+// Equal keys compare with <=, so ties are taken from A — the same
+// A-priority rule as merge_steps(); integer keys make "the sorted W
+// smallest" bitwise equal to the scalar outputs.
+
+#include "kernels/simd_entry.hpp"
+
+#include <immintrin.h>
+
+#include "kernels/simd_loop_common.hpp"
+
+namespace mp::kernels::detail {
+namespace {
+
+inline void prefetch_t0(const void* p) {
+  _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+}
+
+// ---------------------------------------------------------------- 32-bit
+
+struct MinMaxI32 {
+  static __m256i mn(__m256i x, __m256i y) { return _mm256_min_epi32(x, y); }
+  static __m256i mx(__m256i x, __m256i y) { return _mm256_max_epi32(x, y); }
+};
+struct MinMaxU32 {
+  static __m256i mn(__m256i x, __m256i y) { return _mm256_min_epu32(x, y); }
+  static __m256i mx(__m256i x, __m256i y) { return _mm256_max_epu32(x, y); }
+};
+
+inline __m256i reverse_epi32(__m256i v) {
+  return _mm256_permutevar8x32_epi32(v,
+                                     _mm256_setr_epi32(7, 6, 5, 4, 3, 2, 1, 0));
+}
+
+// Ascending sort of an 8-lane bitonic sequence: exchanges at distances
+// 4, 2, 1. Each level pairs lane t with lane t^dist; the lower lane of
+// each pair keeps the min (blend mask selects the max into the upper).
+template <typename Ops>
+inline __m256i sort_bitonic_epi32(__m256i v) {
+  __m256i sw = _mm256_permute2x128_si256(v, v, 0x01);  // distance 4
+  v = _mm256_blend_epi32(Ops::mn(v, sw), Ops::mx(v, sw), 0xF0);
+  sw = _mm256_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2));  // distance 2
+  v = _mm256_blend_epi32(Ops::mn(v, sw), Ops::mx(v, sw), 0xCC);
+  sw = _mm256_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1));  // distance 1
+  v = _mm256_blend_epi32(Ops::mn(v, sw), Ops::mx(v, sw), 0xAA);
+  return v;
+}
+
+template <typename Key, typename Ops>
+struct Avx2Step32 {
+  static constexpr std::size_t kWidth = 8;
+  static void prefetch(const Key* p) { prefetch_t0(p); }
+  static std::size_t step(const Key* pa, const Key* pb, Key* po) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+    const __m256i vbr = reverse_epi32(vb);
+    const __m256i lo = Ops::mn(va, vbr);
+    // Lane t took from A iff min(va,vbr) == va there, i.e. a <= b (ties
+    // land on A: min picks va when equal).
+    const int take_a = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(lo, va)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(po),
+                        sort_bitonic_epi32<Ops>(lo));
+    return static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(take_a)));
+  }
+};
+
+// ---------------------------------------------------------------- 64-bit
+
+struct CmpI64 {
+  static __m256i gt(__m256i x, __m256i y) { return _mm256_cmpgt_epi64(x, y); }
+};
+struct CmpU64 {
+  // AVX2 has no unsigned 64-bit compare: bias both sides by 2^63.
+  static __m256i gt(__m256i x, __m256i y) {
+    const __m256i bias = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ULL));
+    return _mm256_cmpgt_epi64(_mm256_xor_si256(x, bias),
+                              _mm256_xor_si256(y, bias));
+  }
+};
+
+template <typename Cmp>
+inline __m256i min_epi64(__m256i x, __m256i y) {
+  return _mm256_blendv_epi8(x, y, Cmp::gt(x, y));  // y where x > y
+}
+template <typename Cmp>
+inline __m256i max_epi64(__m256i x, __m256i y) {
+  return _mm256_blendv_epi8(y, x, Cmp::gt(x, y));  // x where x > y
+}
+
+inline __m256i reverse_epi64(__m256i v) {
+  return _mm256_permute4x64_epi64(v, _MM_SHUFFLE(0, 1, 2, 3));
+}
+
+// Ascending sort of a 4-lane bitonic sequence: distances 2, 1.
+template <typename Cmp>
+inline __m256i sort_bitonic_epi64(__m256i v) {
+  __m256i sw = _mm256_permute4x64_epi64(v, _MM_SHUFFLE(1, 0, 3, 2));
+  v = _mm256_blend_epi32(min_epi64<Cmp>(v, sw), max_epi64<Cmp>(v, sw), 0xF0);
+  sw = _mm256_permute4x64_epi64(v, _MM_SHUFFLE(2, 3, 0, 1));
+  v = _mm256_blend_epi32(min_epi64<Cmp>(v, sw), max_epi64<Cmp>(v, sw), 0xCC);
+  return v;
+}
+
+template <typename Key, typename Cmp>
+struct Avx2Step64 {
+  static constexpr std::size_t kWidth = 4;
+  static void prefetch(const Key* p) { prefetch_t0(p); }
+  static std::size_t step(const Key* pa, const Key* pb, Key* po) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb));
+    const __m256i vbr = reverse_epi64(vb);
+    // a <= b is the complement of a > b lane-wise.
+    const int gt_mask = _mm256_movemask_pd(_mm256_castsi256_pd(
+        Cmp::gt(va, vbr)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(po),
+        sort_bitonic_epi64<Cmp>(min_epi64<Cmp>(va, vbr)));
+    return kWidth - static_cast<std::size_t>(
+                        __builtin_popcount(static_cast<unsigned>(gt_mask)));
+  }
+};
+
+}  // namespace
+
+std::size_t avx2_loop_i32(const std::int32_t* a, std::size_t m,
+                          const std::int32_t* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          std::int32_t* out, std::size_t steps) {
+  return bounded_vector_merge<Avx2Step32<std::int32_t, MinMaxI32>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t avx2_loop_u32(const std::uint32_t* a, std::size_t m,
+                          const std::uint32_t* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          std::uint32_t* out, std::size_t steps) {
+  return bounded_vector_merge<Avx2Step32<std::uint32_t, MinMaxU32>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t avx2_loop_i64(const std::int64_t* a, std::size_t m,
+                          const std::int64_t* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          std::int64_t* out, std::size_t steps) {
+  return bounded_vector_merge<Avx2Step64<std::int64_t, CmpI64>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t avx2_loop_u64(const std::uint64_t* a, std::size_t m,
+                          const std::uint64_t* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          std::uint64_t* out, std::size_t steps) {
+  return bounded_vector_merge<Avx2Step64<std::uint64_t, CmpU64>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+}  // namespace mp::kernels::detail

@@ -1,0 +1,146 @@
+// merge_sse4.cpp — SSE4.2 vector merge loops: 4-wide for 32-bit keys,
+// 2-wide for 64-bit (pcmpgtq is the SSE4.2 instruction the 64-bit
+// variant needs; the 32-bit min/max are SSE4.1). Same scheme as
+// merge_avx2.cpp — anti-diagonal take count + bitonic exchange network —
+// at half the width; see that TU for the correctness argument.
+
+#include "kernels/simd_entry.hpp"
+
+#include <immintrin.h>
+
+#include "kernels/simd_loop_common.hpp"
+
+namespace mp::kernels::detail {
+namespace {
+
+inline void prefetch_t0(const void* p) {
+  _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+}
+
+// ---------------------------------------------------------------- 32-bit
+
+struct MinMaxI32 {
+  static __m128i mn(__m128i x, __m128i y) { return _mm_min_epi32(x, y); }
+  static __m128i mx(__m128i x, __m128i y) { return _mm_max_epi32(x, y); }
+};
+struct MinMaxU32 {
+  static __m128i mn(__m128i x, __m128i y) { return _mm_min_epu32(x, y); }
+  static __m128i mx(__m128i x, __m128i y) { return _mm_max_epu32(x, y); }
+};
+
+inline __m128i reverse_epi32(__m128i v) {
+  return _mm_shuffle_epi32(v, _MM_SHUFFLE(0, 1, 2, 3));
+}
+
+// Ascending sort of a 4-lane bitonic sequence: exchanges at distances
+// 2, 1 (blend_epi16 masks address 16-bit halves: 32-bit lane t is bits
+// 2t and 2t+1).
+template <typename Ops>
+inline __m128i sort_bitonic_epi32(__m128i v) {
+  __m128i sw = _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2));  // distance 2
+  v = _mm_blend_epi16(Ops::mn(v, sw), Ops::mx(v, sw), 0xF0);
+  sw = _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1));  // distance 1
+  v = _mm_blend_epi16(Ops::mn(v, sw), Ops::mx(v, sw), 0xCC);
+  return v;
+}
+
+template <typename Key, typename Ops>
+struct Sse4Step32 {
+  static constexpr std::size_t kWidth = 4;
+  static void prefetch(const Key* p) { prefetch_t0(p); }
+  static std::size_t step(const Key* pa, const Key* pb, Key* po) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb));
+    const __m128i vbr = reverse_epi32(vb);
+    const __m128i lo = Ops::mn(va, vbr);
+    const int take_a =
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(lo, va)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(po),
+                     sort_bitonic_epi32<Ops>(lo));
+    return static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(take_a)));
+  }
+};
+
+// ---------------------------------------------------------------- 64-bit
+
+struct CmpI64 {
+  static __m128i gt(__m128i x, __m128i y) { return _mm_cmpgt_epi64(x, y); }
+};
+struct CmpU64 {
+  static __m128i gt(__m128i x, __m128i y) {
+    const __m128i bias =
+        _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+    return _mm_cmpgt_epi64(_mm_xor_si128(x, bias), _mm_xor_si128(y, bias));
+  }
+};
+
+template <typename Cmp>
+inline __m128i min_epi64(__m128i x, __m128i y) {
+  return _mm_blendv_epi8(x, y, Cmp::gt(x, y));  // y where x > y
+}
+template <typename Cmp>
+inline __m128i max_epi64(__m128i x, __m128i y) {
+  return _mm_blendv_epi8(y, x, Cmp::gt(x, y));  // x where x > y
+}
+
+inline __m128i reverse_epi64(__m128i v) {
+  return _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2));
+}
+
+template <typename Key, typename Cmp>
+struct Sse4Step64 {
+  static constexpr std::size_t kWidth = 2;
+  static void prefetch(const Key* p) { prefetch_t0(p); }
+  static std::size_t step(const Key* pa, const Key* pb, Key* po) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pa));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(pb));
+    const __m128i vbr = reverse_epi64(vb);
+    const int gt_mask =
+        _mm_movemask_pd(_mm_castsi128_pd(Cmp::gt(va, vbr)));
+    const __m128i lo = min_epi64<Cmp>(va, vbr);
+    // Two-lane bitonic sort: one exchange at distance 1.
+    const __m128i sw = reverse_epi64(lo);
+    _mm_storeu_si128(
+        reinterpret_cast<__m128i*>(po),
+        _mm_blend_epi16(min_epi64<Cmp>(lo, sw), max_epi64<Cmp>(lo, sw), 0xF0));
+    return kWidth - static_cast<std::size_t>(
+                        __builtin_popcount(static_cast<unsigned>(gt_mask)));
+  }
+};
+
+}  // namespace
+
+std::size_t sse4_loop_i32(const std::int32_t* a, std::size_t m,
+                          const std::int32_t* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          std::int32_t* out, std::size_t steps) {
+  return bounded_vector_merge<Sse4Step32<std::int32_t, MinMaxI32>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t sse4_loop_u32(const std::uint32_t* a, std::size_t m,
+                          const std::uint32_t* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          std::uint32_t* out, std::size_t steps) {
+  return bounded_vector_merge<Sse4Step32<std::uint32_t, MinMaxU32>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t sse4_loop_i64(const std::int64_t* a, std::size_t m,
+                          const std::int64_t* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          std::int64_t* out, std::size_t steps) {
+  return bounded_vector_merge<Sse4Step64<std::int64_t, CmpI64>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t sse4_loop_u64(const std::uint64_t* a, std::size_t m,
+                          const std::uint64_t* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          std::uint64_t* out, std::size_t steps) {
+  return bounded_vector_merge<Sse4Step64<std::uint64_t, CmpU64>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+}  // namespace mp::kernels::detail

@@ -1,0 +1,44 @@
+#pragma once
+/// \file simd_loop_common.hpp
+/// The outer shape shared by every vector merge loop. Included only by
+/// the per-ISA TUs; `Traits` supplies the width and the one-vector-step
+/// body, this template supplies the bounds discipline that makes the
+/// kernels sanitizer-clean: a step runs only while BOTH windows hold at
+/// least W unconsumed elements and at least W output steps remain, so no
+/// lane load can cross a segment tail. The prefetch distance is a few
+/// cache lines ahead of whichever cursor the merge is draining.
+
+#include <cstddef>
+
+namespace mp::kernels::detail {
+
+/// Elements (not bytes) of lookahead for the software prefetch. 256 keys
+/// = 16-32 cache lines: far enough to cover DRAM latency at one vector
+/// step per cycle-ish, near enough to stay in the L1 stream.
+inline constexpr std::size_t kPrefetchDistance = 256;
+
+template <typename Traits, typename Key>
+std::size_t bounded_vector_merge(const Key* a, std::size_t m, const Key* b,
+                                 std::size_t n, std::size_t* a_pos,
+                                 std::size_t* b_pos, Key* out,
+                                 std::size_t steps) {
+  constexpr std::size_t W = Traits::kWidth;
+  std::size_t i = *a_pos;
+  std::size_t j = *b_pos;
+  std::size_t written = 0;
+  while (steps - written >= W && m - i >= W && n - j >= W) {
+    if (i + kPrefetchDistance < m) Traits::prefetch(a + i + kPrefetchDistance);
+    if (j + kPrefetchDistance < n) Traits::prefetch(b + j + kPrefetchDistance);
+    // One network step: emit the sorted W smallest of the 2W-key window,
+    // advance the A cursor by the anti-diagonal take count.
+    const std::size_t k = Traits::step(a + i, b + j, out + written);
+    i += k;
+    j += W - k;
+    written += W;
+  }
+  *a_pos = i;
+  *b_pos = j;
+  return written;
+}
+
+}  // namespace mp::kernels::detail

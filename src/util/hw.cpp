@@ -60,6 +60,16 @@ HostInfo probe_host() {
   return info;
 }
 
+CpuFeatures probe_cpu() {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  features.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+#endif
+  return features;
+}
+
 }  // namespace
 
 std::size_t HostInfo::l1d_bytes() const {
@@ -78,6 +88,11 @@ const HostInfo& host_info() {
   return info;
 }
 
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures features = probe_cpu();
+  return features;
+}
+
 HostInfo paper_machine() {
   HostInfo info;
   info.logical_cpus = 12;  // 2 sockets x 6 cores, HT disabled per Section VI
@@ -87,6 +102,13 @@ HostInfo paper_machine() {
       CacheLevel{3, 12u << 20, 64, 16, true},
   };
   return info;
+}
+
+std::string isa_string(const CpuFeatures& features) {
+  if (features.sse42 && features.avx2) return "sse4.2+avx2";
+  if (features.avx2) return "avx2";
+  if (features.sse42) return "sse4.2";
+  return "baseline";
 }
 
 std::string describe(const HostInfo& info) {

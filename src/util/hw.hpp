@@ -32,8 +32,24 @@ struct HostInfo {
   std::size_t llc_bytes() const;
 };
 
+/// ISA feature bits consumed by the vectorized merge kernels
+/// (src/kernels): the dispatcher picks the widest supported kernel at
+/// startup. Non-x86 hosts report everything false and dispatch stays on
+/// the scalar kernels.
+struct CpuFeatures {
+  bool sse42 = false;  ///< SSE4.2 (pcmpgtq — the 64-bit kernels need it)
+  bool avx2 = false;   ///< AVX2 (256-bit integer min/max/permute)
+};
+
 /// Queries the host (cached after the first call).
 const HostInfo& host_info();
+
+/// Queries CPU ISA features via cpuid (cached after the first call).
+const CpuFeatures& cpu_features();
+
+/// Short ISA summary for harness banners: "sse4.2+avx2", "sse4.2", or
+/// "baseline" when neither extension is present.
+std::string isa_string(const CpuFeatures& features);
 
 /// The evaluation machine from the paper (Dell T610, 2x Xeon X5670) as a
 /// HostInfo, used by the PRAM/cache simulators' "paper preset".

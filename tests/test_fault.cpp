@@ -10,13 +10,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
+#include "core/mergepath.hpp"
 #include "dist/distributed_merge.hpp"
 #include "dist/netsim.hpp"
 #include "extmem/block_device.hpp"
 #include "extmem/external_sort.hpp"
 #include "extmem/run_file.hpp"
+#include "test_support.hpp"
 #include "util/data_gen.hpp"
 
 namespace mp::fault {
@@ -441,3 +444,54 @@ TEST(DistFaults, PermanentPartitionSurfacesAsNetError) {
 
 }  // namespace
 }  // namespace mp::dist
+
+// ---------------------------------------------------------------------------
+// RecoveryConfig::retry.backoff_us: in-memory lane retries pay a real,
+// doubling wall-clock sleep between re-submissions (unlike the extmem
+// retry loop, whose backoff only charges the modeled device clock).
+
+namespace mp {
+namespace {
+
+TEST(RecoveryBackoff, DefaultResubmitsImmediately) {
+  // The default stays 0 — a transient lane crash should not slow the
+  // merge down — even though fault::RetryPolicy's own default is 50 us
+  // (tuned for the modeled device clock, not wall time).
+  EXPECT_EQ(RecoveryConfig{}.retry.backoff_us, 0.0);
+}
+
+TEST(RecoveryBackoff, ConfiguredBackoffIsPaidBetweenRetries) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  const auto input = make_merge_input(Dist::kUniform, 4000, 4000, 0xb0ff);
+  const auto expected = test::reference_merge(input.a, input.b);
+
+  ThreadPool pool(3);
+  fault::FaultPlan plan;
+  // Every lane submission crashes, so the retry loop runs the budget dry
+  // and the sequential fallback finishes the merge — deterministically
+  // two backoff sleeps (20 ms + 40 ms) with max_attempts = 3.
+  plan.fail_from(0, fault::FaultKind::kLaneThrow);
+  fault::ScopedInjector injector(pool, plan);
+  RecoveryConfig cfg;
+  cfg.retry.max_attempts = 3;
+  cfg.retry.backoff_us = 20000.0;
+
+  std::vector<std::int32_t> out(input.a.size() + input.b.size());
+  const auto start = std::chrono::steady_clock::now();
+  const RecoveryReport report = resilient_parallel_merge(
+      input.a.data(), input.a.size(), input.b.data(), input.b.size(),
+      out.data(), Executor{&pool, 4}, std::less<>{}, cfg);
+  const auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+
+  EXPECT_EQ(out, expected);
+  EXPECT_GE(report.retried_lanes, 1u);
+  EXPECT_TRUE(report.degraded());
+  // Generous lower bound (60 ms slept; sleep_for never wakes early, but
+  // keep slack for coarse clocks) so sanitizer runs stay robust.
+  EXPECT_GE(elapsed_ms, 50);
+}
+
+}  // namespace
+}  // namespace mp

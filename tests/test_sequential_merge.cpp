@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <string>
 
+#include "kernels/kernels.hpp"
 #include "test_support.hpp"
 #include "util/data_gen.hpp"
 
@@ -126,22 +127,13 @@ TEST(BranchlessMerge, MatchesGuardedKernelWithinSafeRegion) {
     const auto expected = test::reference_merge(input.a, input.b);
 
     std::vector<std::int32_t> out(800);
-    std::size_t i = 0, j = 0, written = 0;
-    // Drive with the safe-step helper, falling back to the guarded kernel
-    // when one input gets near exhaustion — the intended usage pattern.
-    while (written < 800) {
-      const std::size_t safe =
-          branchless_safe_steps(400, 400, i, j, 800 - written);
-      if (safe > 0) {
-        branchless_merge_steps(input.a.data(), input.b.data(), &i, &j,
-                               out.data() + written, safe);
-        written += safe;
-      } else {
-        merge_steps(input.a.data(), 400, input.b.data(), 400, &i, &j,
-                    out.data() + written, 800 - written);
-        written = 800;
-      }
-    }
+    std::size_t i = 0, j = 0;
+    // The intended usage pattern: the bounded branchless front, then the
+    // guarded kernel for whatever tail it could not prove safe.
+    const std::size_t written = kernels::branchless_merge_bounded(
+        input.a.data(), 400, input.b.data(), 400, &i, &j, out.data(), 800);
+    merge_steps(input.a.data(), 400, input.b.data(), 400, &i, &j,
+                out.data() + written, 800 - written);
     EXPECT_EQ(out, expected) << to_string(dist);
   }
 }

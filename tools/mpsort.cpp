@@ -43,8 +43,10 @@
 #include "core/mergepath.hpp"
 #include "extmem/external_sort.hpp"
 #include "fault/fault.hpp"
+#include "kernels/kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/hw.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -58,6 +60,10 @@ using namespace mp;
       "  mpsort merge <output> <in1> <in2> [...] [--binary] [--numeric]\n"
       "               [--threads N]\n"
       "  mpsort check <input> [--binary] [--numeric]\n"
+      "kernel selection (any command):\n"
+      "  --kernel K             force the per-lane merge kernel, K in\n"
+      "                         scalar|branchless|sse4|avx2 (default: the\n"
+      "                         widest ISA the host supports)\n"
       "observability (any command):\n"
       "  --trace <file.json>    write a Chrome/Perfetto trace of the run\n"
       "  --metrics              print the per-lane balance table to stderr\n"
@@ -102,6 +108,22 @@ Options parse(int argc, char** argv, int first) {
     } else if (arg == "--metrics-json") {
       if (++i >= argc) usage();
       opt.metrics_json = argv[i];
+    } else if (arg == "--kernel") {
+      if (++i >= argc) usage();
+      const auto kernel = kernels::parse_kernel(argv[i]);
+      if (!kernel) {
+        std::cerr << "--kernel expects scalar|branchless|sse4|avx2, got '"
+                  << argv[i] << "'\n";
+        usage();
+      }
+      if (!kernels::set_kernel(*kernel)) {
+        std::cerr << "--kernel " << argv[i]
+                  << " is not supported on this host/build (isa "
+                  << isa_string(cpu_features())
+                  << (kernels::kSimdCompiledIn ? "" : ", SIMD compiled out")
+                  << ")\n";
+        std::exit(2);
+      }
     } else if (arg == "--threads") {
       if (++i >= argc) usage();
       // std::stoul aborts the process on bad input if the exception
@@ -439,6 +461,8 @@ int main(int argc, char** argv) {
   if (argc < 3) usage();
   const std::string command = argv[1];
   const Options opt = parse(argc, argv, 2);
+
+  std::cerr << "mpsort: " << kernels::kernel_banner() << "\n";
 
   if (opt.metrics || !opt.metrics_json.empty())
     obs::LaneMetrics::instance().arm();
