@@ -3,7 +3,7 @@
 
 Usage:
     check_trace.py TRACE.json [--metrics METRICS.json ...] [--min-events N]
-                   [--require-known-names]
+                   [--require-known-names] [--min-span-depth N]
 
 TRACE.json is a Chrome/Perfetto trace_event file written by
 `mpsort --trace` or a bench harness's `--trace` flag; each --metrics
@@ -39,6 +39,12 @@ KNOWN_NAMES = {
     "pool.recover", "pool.lane_fault", "pool.hedge", "pool.fallback",
     # two-array merge (core)
     "merge", "merge.partition", "merge.segment",
+    # recursive splitting on the work-stealing scheduler
+    "merge.rec", "sort.rec",
+    # work-stealing task scheduler (sched.spawn / sched.steal are both
+    # instants and counters; sched.max_depth is a counter)
+    "sched.run", "sched.task", "sched.spawn", "sched.steal",
+    "sched.max_depth",
     # segmented (cache-aware) merge
     "spm", "spm.fetch", "spm.segment", "spm.segment_len", "spm.flush",
     # multiway merge
@@ -65,7 +71,8 @@ def fail(msg: str) -> None:
 
 
 def check_trace(path: str, min_events: int,
-                require_known_names: bool = False) -> None:
+                require_known_names: bool = False,
+                min_span_depth: int = 0) -> None:
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -116,7 +123,10 @@ def check_trace(path: str, min_events: int,
 
     # Spans on one thread must nest: a span starting inside another must
     # also end inside it. The exporter sorts ties parent-first, so a simple
-    # stack sweep suffices.
+    # stack sweep suffices. The same sweep measures the deepest nesting
+    # (for --min-span-depth: a trace of a nested fork-join run must show
+    # spans inside spans, or the scheduler instrumentation regressed).
+    max_depth = 0
     for tid, spans in spans_by_tid.items():
         stack = []
         for begin, end, name in spans:
@@ -127,6 +137,10 @@ def check_trace(path: str, min_events: int,
                      f"partially overlaps {stack[-1][2]!r} "
                      f"[{stack[-1][0]}, {stack[-1][1]})")
             stack.append((begin, end, name))
+            max_depth = max(max_depth, len(stack))
+    if min_span_depth > 0 and max_depth < min_span_depth:
+        fail(f"{path}: deepest span nesting is {max_depth}, expected at "
+             f"least {min_span_depth} (nested fork-join spans missing?)")
 
     names = sorted({e["name"] for e in payload})
     if require_known_names:
@@ -137,6 +151,7 @@ def check_trace(path: str, min_events: int,
                  f"docs/OBSERVABILITY.md together)")
     print(f"check_trace: {path}: OK "
           f"({len(payload)} events, {len(spans_by_tid)} thread(s), "
+          f"span depth {max_depth}, "
           f"names: {', '.join(names[:12])}{'...' if len(names) > 12 else ''})")
 
 
@@ -185,8 +200,12 @@ def main() -> None:
                         help="minimum non-metadata trace events")
     parser.add_argument("--require-known-names", action="store_true",
                         help="reject event names outside the span taxonomy")
+    parser.add_argument("--min-span-depth", type=int, default=0,
+                        help="minimum nesting depth the span tree must "
+                             "reach (nested fork-join traces are > 1)")
     args = parser.parse_args()
-    check_trace(args.trace, args.min_events, args.require_known_names)
+    check_trace(args.trace, args.min_events, args.require_known_names,
+                args.min_span_depth)
     for path in args.metrics:
         check_metrics(path)
 

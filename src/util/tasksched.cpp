@@ -1,0 +1,409 @@
+#include "util/tasksched.hpp"
+
+#include <array>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/assert.hpp"
+
+namespace mp {
+namespace detail_ws {
+
+// ---------------------------------------------------------------------------
+// Chase-Lev-style work-stealing deque, fixed capacity.
+//
+// Owner pushes/pops at the bottom; thieves take from the top (oldest
+// first). Because a par_do joins before its frame unwinds, a worker's
+// pending tasks form a stack whose depth is the live par_do nesting depth,
+// so a fixed power-of-two buffer is plenty (overflow degrades to serial
+// execution in par_do, never to an error). Memory ordering follows the
+// fence-free formulation — seq_cst on the top/bottom races, acquire/
+// release on the publication edge — because TSan does not model
+// standalone atomic_thread_fence; every ordering here lives on the atomic
+// itself, which TSan checks precisely.
+class Deque {
+ public:
+  static constexpr std::size_t kCapacity = std::size_t{1} << 12;
+  static constexpr std::size_t kMask = kCapacity - 1;
+
+  // Owner only. False when full.
+  bool push(TaskNode* task) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<std::int64_t>(kCapacity)) return false;
+    slots_[static_cast<std::size_t>(b) & kMask].store(
+        task, std::memory_order_relaxed);
+    // Publishes the slot AND the task's fields (written by this thread
+    // before push) to any thief that acquires this bottom value.
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+    return true;
+  }
+
+  // Owner only. Null when empty or when a thief won the last entry.
+  TaskNode* pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Empty: undo the reservation.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    TaskNode* task =
+        slots_[static_cast<std::size_t>(b) & kMask].load(
+            std::memory_order_relaxed);
+    if (t != b) return task;  // >= 2 entries: bottom and top are disjoint
+    // Single entry: race the thieves for it via the CAS on top.
+    const bool won = top_.compare_exchange_strong(
+        t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return won ? task : nullptr;
+  }
+
+  // Any thread. Null when empty or on a lost race (caller just moves on).
+  TaskNode* steal() {
+    std::int64_t t = top_.load(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    TaskNode* task =
+        slots_[static_cast<std::size_t>(t) & kMask].load(
+            std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed))
+      return nullptr;  // lost to the owner or another thief; task is stale
+    return task;
+  }
+
+ private:
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::array<std::atomic<TaskNode*>, kCapacity> slots_{};
+};
+
+/// Per-slot state: one deque plus a cheap xorshift for victim selection.
+struct Worker {
+  Deque deque;
+  struct SchedState* sched = nullptr;
+  unsigned index = 0;
+  std::uint64_t rng = 0;
+  std::atomic<bool> claimed{false};  ///< external slots only
+
+  std::uint64_t next_random() {
+    // xorshift64: victim order only, no statistical burden.
+    std::uint64_t x = rng;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return rng = x;
+  }
+};
+
+/// Shared scheduler state, one per TaskScheduler. Lives outside
+/// TaskScheduler::Impl so the thread-local helpers below need no access
+/// to the private class.
+struct SchedState {
+  std::vector<std::unique_ptr<Worker>> slots;  // workers first, externals last
+  unsigned worker_count = 0;
+
+  std::atomic<bool> shutdown{false};
+  // Wake protocol (no missed wakeups): a sleeper publishes itself in
+  // `idle` (seq_cst) then re-reads `work_epoch` under the mutex; a pusher
+  // bumps `work_epoch` (seq_cst) then checks `idle`. Dekker-style: at
+  // least one side sees the other, and the empty lock_guard in wake()
+  // orders the notify after the sleeper committed to waiting.
+  std::atomic<std::uint64_t> work_epoch{0};
+  std::atomic<unsigned> idle{0};
+  std::mutex sleep_mutex;
+  std::condition_variable sleep_cv;
+  std::vector<std::thread> threads;
+
+  std::atomic<std::uint64_t> spawns{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> max_depth{0};
+
+  void note_depth(std::uint64_t depth) {
+    std::uint64_t seen = max_depth.load(std::memory_order_relaxed);
+    while (depth > seen &&
+           !max_depth.compare_exchange_weak(seen, depth,
+                                            std::memory_order_relaxed))
+      ;
+  }
+
+  void wake_one() {
+    if (idle.load(std::memory_order_seq_cst) == 0) return;
+    { std::lock_guard lock(sleep_mutex); }
+    sleep_cv.notify_one();
+  }
+};
+
+namespace {
+
+/// Calling thread's scheduler context; null outside any task/run().
+thread_local Worker* g_worker = nullptr;
+/// par_do nesting depth of the code currently executing on this thread.
+thread_local std::uint32_t g_depth = 0;
+
+obs::Counter& spawn_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("sched.spawn");
+  return c;
+}
+
+obs::Counter& steal_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("sched.steal");
+  return c;
+}
+
+obs::Gauge& depth_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::instance().gauge("sched.max_depth");
+  return g;
+}
+
+void execute(Worker* self, TaskNode* task) {
+  // A task runs at its spawn depth regardless of which thread picked it
+  // up, so max_depth measures the fork tree, not steal luck.
+  const std::uint32_t saved = g_depth;
+  g_depth = task->depth;
+  self->sched->note_depth(task->depth);
+  {
+    obs::Span span("sched.task", "depth", task->depth);
+    task->invoke(task);
+    // `task` lives on the spawner's stack and dies once `done` is
+    // observed — nothing may touch it after invoke() set the flag.
+  }
+  g_depth = saved;
+}
+
+/// Pop-own-then-steal sweep over every other slot, random start. Returns
+/// null when nothing was runnable this pass.
+TaskNode* find_task(Worker* self) {
+  if (TaskNode* task = self->deque.pop()) return task;
+  SchedState& sched = *self->sched;
+  const unsigned n = static_cast<unsigned>(sched.slots.size());
+  const unsigned start = static_cast<unsigned>(self->next_random() % n);
+  for (unsigned k = 0; k < n; ++k) {
+    Worker* victim = sched.slots[(start + k) % n].get();
+    if (victim == self) continue;
+    if (TaskNode* task = victim->deque.steal()) {
+      sched.steals.fetch_add(1, std::memory_order_relaxed);
+      steal_counter().add();
+      obs::Span::instant("sched.steal", "victim", victim->index);
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void worker_main(SchedState* sched, Worker* self) {
+  g_worker = self;
+  for (;;) {
+    if (sched->shutdown.load(std::memory_order_acquire)) break;
+    if (TaskNode* task = find_task(self)) {
+      execute(self, task);
+      continue;
+    }
+    // Publish intent to sleep, then re-scan once: a spawn that raced the
+    // scan either bumped the epoch we are about to record (predicate
+    // fails, no sleep) or finds idle > 0 and wakes us.
+    const std::uint64_t epoch =
+        sched->work_epoch.load(std::memory_order_seq_cst);
+    sched->idle.fetch_add(1, std::memory_order_seq_cst);
+    if (TaskNode* task = find_task(self)) {
+      sched->idle.fetch_sub(1, std::memory_order_seq_cst);
+      execute(self, task);
+      continue;
+    }
+    {
+      std::unique_lock lock(sched->sleep_mutex);
+      sched->sleep_cv.wait(lock, [&] {
+        return sched->shutdown.load(std::memory_order_relaxed) ||
+               sched->work_epoch.load(std::memory_order_relaxed) != epoch;
+      });
+    }
+    sched->idle.fetch_sub(1, std::memory_order_seq_cst);
+  }
+  g_worker = nullptr;
+}
+
+}  // namespace
+
+bool spawn(TaskNode* node) {
+  Worker* self = g_worker;
+  if (self == nullptr) return false;
+  node->depth = g_depth + 1;
+  if (!self->deque.push(node)) return false;
+  SchedState& sched = *self->sched;
+  sched.spawns.fetch_add(1, std::memory_order_relaxed);
+  spawn_counter().add();
+  obs::Span::instant("sched.spawn", "depth", node->depth);
+  sched.work_epoch.fetch_add(1, std::memory_order_seq_cst);
+  sched.wake_one();
+  return true;
+}
+
+bool unspawn([[maybe_unused]] TaskNode* node) {
+  TaskNode* popped = g_worker->deque.pop();
+  if (popped == nullptr) return false;
+  // LIFO discipline: anything f() pushed above `node` was consumed before
+  // f returned, so our bottom entry is exactly the node we spawned.
+  MP_ASSERT(popped == node);
+  return true;
+}
+
+void join(TaskNode* node) {
+  Worker* self = g_worker;
+  unsigned idle_passes = 0;
+  while (!node->done.load(std::memory_order_acquire)) {
+    if (TaskNode* task = find_task(self)) {
+      // Help-first: run whatever is ready (typically a descendant of the
+      // stolen task we are waiting on) instead of blocking a thread.
+      execute(self, task);
+      idle_passes = 0;
+      continue;
+    }
+    // Nothing runnable anywhere: the stolen branch is still in flight on
+    // another thread. Back off gently — the joiner must keep polling
+    // `done` (no condvar covers it), but must not starve the thread
+    // actually running the work under oversubscription.
+    if (++idle_passes < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+DepthGuard::DepthGuard() {
+  ++g_depth;
+  if (Worker* self = g_worker) self->sched->note_depth(g_depth);
+}
+
+DepthGuard::~DepthGuard() { --g_depth; }
+
+}  // namespace detail_ws
+
+// ---------------------------------------------------------------------------
+// TaskScheduler
+
+struct TaskScheduler::Impl {
+  detail_ws::SchedState state;
+};
+
+TaskScheduler::TaskScheduler(int workers) : impl_(std::make_unique<Impl>()) {
+  unsigned count;
+  if (workers < 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    count = hw > 1 ? hw - 1 : 0;
+  } else {
+    count = static_cast<unsigned>(workers);
+  }
+  detail_ws::SchedState& state = impl_->state;
+  state.worker_count = count;
+  const unsigned total = count + kExternalSlots;
+  state.slots.reserve(total);
+  for (unsigned i = 0; i < total; ++i) {
+    auto slot = std::make_unique<detail_ws::Worker>();
+    slot->sched = &state;
+    slot->index = i;
+    slot->rng = 0x9e3779b97f4a7c15ULL * (i + 1) + 0x2545f4914f6cdd1dULL;
+    state.slots.push_back(std::move(slot));
+  }
+  state.threads.reserve(count);
+  for (unsigned i = 0; i < count; ++i)
+    state.threads.emplace_back(detail_ws::worker_main, &state,
+                               state.slots[i].get());
+}
+
+TaskScheduler::~TaskScheduler() {
+  detail_ws::SchedState& state = impl_->state;
+  state.shutdown.store(true, std::memory_order_release);
+  {
+    std::lock_guard lock(state.sleep_mutex);
+  }
+  state.sleep_cv.notify_all();
+  for (auto& thread : state.threads) thread.join();
+}
+
+unsigned TaskScheduler::workers() const { return impl_->state.worker_count; }
+
+unsigned TaskScheduler::slots() const {
+  return static_cast<unsigned>(impl_->state.slots.size());
+}
+
+void TaskScheduler::run(const std::function<void()>& root) {
+  detail_ws::SchedState& state = impl_->state;
+  // Claim an external slot: the caller becomes a stealing peer. run()
+  // from inside another scheduler context stacks cleanly — the previous
+  // context is saved and restored around the root.
+  detail_ws::Worker* slot = nullptr;
+  for (unsigned i = state.worker_count; i < state.slots.size(); ++i) {
+    bool expected = false;
+    if (state.slots[i]->claimed.compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      slot = state.slots[i].get();
+      break;
+    }
+  }
+  MP_CHECK(slot != nullptr);  // > kExternalSlots concurrent run() callers
+
+  detail_ws::Worker* saved_worker = detail_ws::g_worker;
+  const std::uint32_t saved_depth = detail_ws::g_depth;
+  detail_ws::g_worker = slot;
+  detail_ws::g_depth = 0;
+
+  std::exception_ptr error;
+  {
+    obs::Span span("sched.run");
+    try {
+      root();
+    } catch (...) {
+      error = std::current_exception();
+    }
+  }
+  // Every par_do joins before unwinding, so the root leaves our deque
+  // empty — nothing of this task tree survives the call.
+  MP_ASSERT(slot->deque.pop() == nullptr);
+
+  detail_ws::g_worker = saved_worker;
+  detail_ws::g_depth = saved_depth;
+  slot->claimed.store(false, std::memory_order_release);
+  detail_ws::depth_gauge().set(static_cast<std::int64_t>(
+      state.max_depth.load(std::memory_order_relaxed)));
+  if (error) std::rethrow_exception(error);
+}
+
+bool TaskScheduler::in_task() { return detail_ws::g_worker != nullptr; }
+
+unsigned TaskScheduler::current_slot() {
+  MP_CHECK(detail_ws::g_worker != nullptr);
+  return detail_ws::g_worker->index;
+}
+
+TaskScheduler::Stats TaskScheduler::stats() const {
+  const detail_ws::SchedState& state = impl_->state;
+  Stats stats;
+  stats.spawns = state.spawns.load(std::memory_order_relaxed);
+  stats.steals = state.steals.load(std::memory_order_relaxed);
+  stats.max_depth = state.max_depth.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void TaskScheduler::reset_stats() {
+  detail_ws::SchedState& state = impl_->state;
+  state.spawns.store(0, std::memory_order_relaxed);
+  state.steals.store(0, std::memory_order_relaxed);
+  state.max_depth.store(0, std::memory_order_relaxed);
+}
+
+TaskScheduler& TaskScheduler::shared() {
+  static TaskScheduler scheduler;
+  return scheduler;
+}
+
+}  // namespace mp

@@ -1,0 +1,213 @@
+#pragma once
+/// \file tasksched.hpp
+/// Work-stealing task scheduler with nested fork-join — the second
+/// scheduling shape next to ThreadPool's static equispaced lanes.
+///
+/// ThreadPool (threading.hpp) is an *engine*: one flat fork-join job at a
+/// time, lanes fixed at fork, nested invocation rejected with MP_CHECK.
+/// That matches Algorithm 1's shape exactly, but it cannot express the
+/// nested parallelism the ROADMAP needs (concurrent requests x sort
+/// rounds x lane splits), nor the PAM/pbbslib recursive-splitting merge.
+/// TaskScheduler is a *scheduler*: per-worker Chase-Lev-style deques, a
+/// par_do(f, g) fork-join primitive callable from any depth, and
+/// help-first stealing — a thread blocked on a join executes other ready
+/// tasks instead of sleeping, so arbitrarily deep recursion cannot
+/// deadlock a bounded worker set.
+///
+/// Structure of a computation (fully strict, cactus-stack shaped):
+///  - run(root) enters the scheduler from an outside thread; the caller
+///    claims an external deque slot and becomes a work-stealing peer for
+///    the duration (several threads may run() concurrently — each root is
+///    an independent task tree over the shared workers).
+///  - par_do(f, g) pushes g onto the calling worker's deque, runs f
+///    inline, then pops g back (the common, allocation-free case) or —
+///    when a thief took it — helps by stealing other tasks until g's
+///    stack-allocated task node is marked done.
+///  - Exceptions: both halves always execute to their join, then the
+///    first error (f's before g's) is rethrown exactly once per par_do;
+///    a root-task error is rethrown by run(). Nothing is ever lost or
+///    double-thrown, and a throwing task cannot wedge the scheduler.
+///
+/// Determinism: with zero workers every par_do pops its own push, so the
+/// whole tree runs f-then-g depth-first on the calling thread — the
+/// deterministic mode mirrors ThreadPool(0) and is what seeded tests and
+/// the PRAM instrumentation rely on.
+///
+/// Observability: spans `sched.run` (root) and `sched.task` (every task
+/// executed off a deque), instants `sched.spawn` / `sched.steal`, and
+/// MetricsRegistry counters `sched.spawn` / `sched.steal` plus the
+/// `sched.max_depth` gauge keep Figure-5-style curves honest across both
+/// schedulers (same arming rules as the pool's `pool.*` spans).
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace mp {
+
+namespace detail_ws {
+
+/// One forked task, allocated on the spawning par_do's stack frame (the
+/// join completes before the frame unwinds, so no heap allocation is ever
+/// needed). `error` is written by whichever thread runs the task, before
+/// the release store of `done`; the joiner reads it after the acquire
+/// load, so the pair needs no further synchronisation.
+struct TaskNode {
+  void (*invoke)(TaskNode*) = nullptr;
+  void* fn = nullptr;              ///< address of the callable (caller's stack)
+  std::uint32_t depth = 0;         ///< nesting depth the task runs at
+  std::atomic<bool> done{false};
+  std::exception_ptr error;
+};
+
+/// Pushes `node` onto the calling worker's deque and records the spawn.
+/// Returns false when the calling thread is not inside any scheduler
+/// context (or its deque is full) — par_do then degrades to serial.
+bool spawn(TaskNode* node);
+
+/// Owner-side pop: true iff `node` came back unstolen (then the caller
+/// runs it inline; its `invoke` has not fired).
+bool unspawn(TaskNode* node);
+
+/// Helps until `node` is done: steals and executes other ready tasks
+/// while waiting (help-first), yielding when the whole system is idle.
+void join(TaskNode* node);
+
+/// RAII nesting-depth bump around the inline halves of a par_do; keeps
+/// the scheduler's max-depth statistic honest for unstolen subtrees.
+struct DepthGuard {
+  DepthGuard();
+  ~DepthGuard();
+};
+
+}  // namespace detail_ws
+
+/// Work-stealing fork-join scheduler. Thread-safe: any number of threads
+/// may call run() concurrently (up to kExternalSlots at once), and par_do
+/// composes at any depth inside. See file comment for the model.
+class TaskScheduler {
+ public:
+  /// Deque slots reserved for concurrent external run() callers on top of
+  /// the worker slots.
+  static constexpr unsigned kExternalSlots = 8;
+
+  /// Creates `workers` stealing worker threads. Negative: use
+  /// hardware_concurrency() - 1 (the run() caller is the extra peer).
+  /// Zero: no workers — every task runs inline, depth-first f-then-g on
+  /// the calling thread (deterministic mode).
+  explicit TaskScheduler(int workers = -1);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Number of stealing worker threads (excluding run() callers).
+  unsigned workers() const;
+
+  /// Total deque slots: workers() + kExternalSlots. The valid range of
+  /// current_slot(), and the span length instrumented recursive
+  /// algorithms size their per-slot OpCounts by.
+  unsigned slots() const;
+
+  /// Runs `root` on the scheduler with the calling thread participating
+  /// as a stealing peer until the whole task tree joins. Rethrows the
+  /// root's (single) exception. May be called from several threads at
+  /// once and even from inside another scheduler's task; at most
+  /// kExternalSlots callers can be inside one scheduler simultaneously
+  /// (checked).
+  void run(const std::function<void()>& root);
+
+  /// Fork-join: executes f and g, both exactly once, potentially in
+  /// parallel; returns after both complete. Inside a scheduler context g
+  /// is made stealable while the caller runs f; outside any context both
+  /// run serially on the caller. If both halves throw, f's exception
+  /// propagates and g's is dropped — every par_do rethrows at most one
+  /// error, so an exception propagates exactly once up the join tree.
+  template <typename F, typename G>
+  static void par_do(F&& f, G&& g);
+
+  /// True when the calling thread is currently executing inside some
+  /// TaskScheduler (worker or run() participant).
+  static bool in_task();
+
+  /// Deque-slot index of the calling thread; valid only when in_task().
+  static unsigned current_slot();
+
+  /// Scheduler-lifetime counters (relaxed; exact once quiescent).
+  struct Stats {
+    std::uint64_t spawns = 0;     ///< par_do forks pushed onto a deque
+    std::uint64_t steals = 0;     ///< tasks taken from another slot's deque
+    std::uint64_t max_depth = 0;  ///< deepest par_do nesting observed
+  };
+  Stats stats() const;
+  void reset_stats();
+
+  /// Process-wide default scheduler, sized to the host, created on first
+  /// use (mirrors ThreadPool::shared()).
+  static TaskScheduler& shared();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+template <typename F, typename G>
+void TaskScheduler::par_do(F&& f, G&& g) {
+  using GFn = std::remove_reference_t<G>;
+  detail_ws::TaskNode node;
+  node.fn = const_cast<void*>(static_cast<const void*>(std::addressof(g)));
+  node.invoke = [](detail_ws::TaskNode* n) {
+    try {
+      (*static_cast<GFn*>(n->fn))();
+    } catch (...) {
+      n->error = std::current_exception();
+    }
+    n->done.store(true, std::memory_order_release);
+  };
+
+  if (!detail_ws::spawn(&node)) {
+    // No scheduler context (or a pathologically deep deque): serial
+    // execution with the same both-always-run, f-error-first contract.
+    std::exception_ptr f_error, g_error;
+    try {
+      f();
+    } catch (...) {
+      f_error = std::current_exception();
+    }
+    try {
+      g();
+    } catch (...) {
+      g_error = std::current_exception();
+    }
+    if (f_error) std::rethrow_exception(f_error);
+    if (g_error) std::rethrow_exception(g_error);
+    return;
+  }
+
+  std::exception_ptr f_error;
+  {
+    detail_ws::DepthGuard depth;
+    try {
+      f();
+    } catch (...) {
+      f_error = std::current_exception();
+    }
+  }
+  if (detail_ws::unspawn(&node)) {
+    // Fast path: g never left our deque — run it inline, no atomics
+    // beyond the pop itself.
+    detail_ws::DepthGuard depth;
+    node.invoke(&node);
+  } else {
+    detail_ws::join(&node);
+  }
+  if (f_error) std::rethrow_exception(f_error);
+  if (node.error) std::rethrow_exception(node.error);
+}
+
+}  // namespace mp

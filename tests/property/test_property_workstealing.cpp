@@ -1,0 +1,317 @@
+// Work-stealing scheduler stress: the contracts tasksched.hpp promises,
+// attacked with oversubscription, hostile nesting shapes and throwing
+// tasks rather than examples.
+//
+// Shapes covered:
+//  - deep par_do chains and wide par_do trees on a scheduler with far
+//    fewer workers than tasks, driven concurrently from more external
+//    run() threads than workers (help-first joins are what keep this
+//    from deadlocking — a wedged scheduler fails as a ctest TIMEOUT);
+//  - throwing tasks at every nesting depth: both halves of every par_do
+//    still execute, exactly one exception reaches the run() caller;
+//  - a 200-seed byte-exact differential of par_merge_recursive against
+//    parallel_merge (both must produce the unique A-priority stable
+//    merge), plus payload-exact KeyedRecord stability — extending the
+//    PR 1 property layer to the second scheduling shape;
+//  - zero-worker determinism: the whole tree runs depth-first f-then-g
+//    on the caller, twice in a row, with zero steals.
+//
+// Every randomised case prints its seed via SCOPED_TRACE.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "../test_support.hpp"
+#include "core/mergepath.hpp"
+#include "util/data_gen.hpp"
+#include "util/rng.hpp"
+#include "util/tasksched.hpp"
+
+namespace mp {
+namespace {
+
+// ---- nesting shapes -------------------------------------------------------
+
+/// Binary par_do tree of the given depth; every leaf bumps the counter.
+/// Returns the number of leaves (2^depth).
+std::uint64_t wide_tree(int depth, std::atomic<std::uint64_t>& leaves) {
+  if (depth == 0) {
+    leaves.fetch_add(1, std::memory_order_relaxed);
+    return 1;
+  }
+  std::uint64_t l = 0, r = 0;
+  TaskScheduler::par_do([&] { l = wide_tree(depth - 1, leaves); },
+                        [&] { r = wide_tree(depth - 1, leaves); });
+  return l + r;
+}
+
+/// Linear par_do chain: each level forks one leaf and one deeper chain,
+/// so nesting depth equals `depth` while task count stays linear.
+void deep_chain(int depth, std::atomic<std::uint64_t>& hits) {
+  hits.fetch_add(1, std::memory_order_relaxed);
+  if (depth == 0) return;
+  TaskScheduler::par_do(
+      [&] { deep_chain(depth - 1, hits); },
+      [&] { hits.fetch_add(1, std::memory_order_relaxed); });
+}
+
+TEST(WorkStealing, WideNestingUnderOversubscription) {
+  TaskScheduler sched(3);  // 12 tree levels = 4096 leaves on 3 workers
+  std::atomic<std::uint64_t> leaves{0};
+  std::uint64_t returned = 0;
+  sched.run([&] { returned = wide_tree(12, leaves); });
+  EXPECT_EQ(returned, 4096u);
+  EXPECT_EQ(leaves.load(), 4096u);
+  EXPECT_GE(sched.stats().max_depth, 12u);
+}
+
+TEST(WorkStealing, DeepNestingDoesNotDeadlock) {
+  TaskScheduler sched(2);
+  std::atomic<std::uint64_t> hits{0};
+  sched.run([&] { deep_chain(800, hits); });
+  // One hit per level plus the forked leaf of each of the 800 par_dos.
+  EXPECT_EQ(hits.load(), 801u + 800u);
+  EXPECT_GE(sched.stats().max_depth, 100u);
+}
+
+TEST(WorkStealing, MoreExternalCallersThanWorkers) {
+  // 6 concurrent run() callers on 2 workers: external threads must make
+  // progress as stealing peers even when every worker is busy elsewhere.
+  TaskScheduler sched(2);
+  constexpr int kCallers = 6;
+  std::vector<std::uint64_t> results(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  std::atomic<std::uint64_t> leaves{0};
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c] {
+      for (int iter = 0; iter < 8; ++iter)
+        sched.run([&] { results[c] += wide_tree(8, leaves); });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c)
+    EXPECT_EQ(results[c], 8u * 256u) << "caller " << c;
+  EXPECT_EQ(leaves.load(), kCallers * 8u * 256u);
+}
+
+// ---- exception propagation ------------------------------------------------
+
+/// Binary tree where leaves whose index is in `throwers` throw after
+/// bumping the execution counter. Leaf indexing is the in-order position
+/// so a seeded test can aim a throw at any depth/side combination.
+void throwing_tree(int depth, std::uint32_t index,
+                   const std::vector<bool>& throwers,
+                   std::atomic<std::uint64_t>& executed) {
+  if (depth == 0) {
+    executed.fetch_add(1, std::memory_order_relaxed);
+    if (throwers[index])
+      throw std::runtime_error("leaf " + std::to_string(index));
+    return;
+  }
+  TaskScheduler::par_do(
+      [&] { throwing_tree(depth - 1, index * 2, throwers, executed); },
+      [&] { throwing_tree(depth - 1, index * 2 + 1, throwers, executed); });
+}
+
+TEST(WorkStealing, ThrowingTasksAtEveryDepthPropagateExactlyOnce) {
+  TaskScheduler sched(3);
+  constexpr int kDepth = 7;  // 128 leaves
+  constexpr std::uint32_t kLeaves = 1u << kDepth;
+  Xoshiro256 rng(0x7512ULL);
+  for (int iter = 0; iter < 60; ++iter) {
+    const std::uint64_t seed = rng();
+    SCOPED_TRACE(::testing::Message() << "iter=" << iter << " seed=" << seed);
+    Xoshiro256 local(seed);
+    std::vector<bool> throwers(kLeaves, false);
+    // Sweep the throw count from a single leaf (aimed at a random depth
+    // boundary) up to one-in-four of all leaves.
+    const int n_throwers = 1 + static_cast<int>(local.bounded(kLeaves / 4));
+    for (int t = 0; t < n_throwers; ++t)
+      throwers[local.bounded(kLeaves)] = true;
+    const auto expected_throwing =
+        static_cast<std::uint64_t>(
+            std::count(throwers.begin(), throwers.end(), true));
+
+    std::atomic<std::uint64_t> executed{0};
+    int caught = 0;
+    std::string what;
+    try {
+      sched.run([&] { throwing_tree(kDepth, 0, throwers, executed); });
+    } catch (const std::runtime_error& e) {
+      ++caught;
+      what = e.what();
+    }
+    ASSERT_EQ(caught, 1) << "exactly one exception must escape run()";
+    // The escaping error is one of the planted ones...
+    ASSERT_EQ(what.rfind("leaf ", 0), 0u);
+    const auto idx = static_cast<std::uint32_t>(
+        std::stoul(what.substr(5)));
+    ASSERT_LT(idx, kLeaves);
+    ASSERT_TRUE(throwers[idx]) << what << " was never planted";
+    // ...and a throw never cancels siblings: every leaf still executed.
+    ASSERT_EQ(executed.load(), kLeaves)
+        << expected_throwing << " planted throwers";
+  }
+}
+
+TEST(WorkStealing, SchedulerIsReusableAfterExceptions) {
+  TaskScheduler sched(2);
+  for (int iter = 0; iter < 50; ++iter) {
+    EXPECT_THROW(
+        sched.run([] { throw std::logic_error("root"); }), std::logic_error);
+    std::atomic<std::uint64_t> leaves{0};
+    sched.run([&] { wide_tree(5, leaves); });
+    ASSERT_EQ(leaves.load(), 32u) << "iter " << iter;
+  }
+}
+
+TEST(WorkStealing, BothHalvesThrowingKeepsFirstError) {
+  TaskScheduler sched(1);
+  sched.run([] {
+    try {
+      TaskScheduler::par_do([] { throw std::runtime_error("from f"); },
+                            [] { throw std::runtime_error("from g"); });
+      FAIL() << "par_do must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "from f");
+    }
+  });
+}
+
+// ---- differential: recursive splitting vs static lanes --------------------
+
+TEST(WorkStealing, RecursiveMergeMatchesParallelMergeAcross200Seeds) {
+  TaskScheduler sched(3);
+  Xoshiro256 rng(0x200dULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    const Dist dist = kAllDists[rng.bounded(std::size(kAllDists))];
+    const std::size_t m = rng.bounded(30000);
+    const std::size_t n = rng.bounded(30000);
+    const std::size_t grain = 1 + rng.bounded(8192);
+    const unsigned lanes = 1 + static_cast<unsigned>(rng.bounded(16));
+    const std::uint64_t seed = rng();
+    SCOPED_TRACE(::testing::Message()
+                 << to_string(dist) << " m=" << m << " n=" << n << " grain="
+                 << grain << " lanes=" << lanes << " seed=" << seed);
+    const auto input = make_merge_input(dist, m, n, seed);
+
+    std::vector<std::int32_t> expect(m + n), got(m + n);
+    parallel_merge(input.a.data(), m, input.b.data(), n, expect.data(),
+                   Executor{nullptr, lanes});
+    RecursiveConfig cfg;
+    cfg.scheduler = &sched;
+    cfg.merge_grain = grain;
+    par_merge_recursive(input.a.data(), m, input.b.data(), n, got.data(),
+                        cfg);
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST(WorkStealing, RecursiveMergeIsPayloadExactStable) {
+  // KeyedRecord payload encodes (origin, index): equality below is
+  // byte-exact stability, not just key order. Tiny key universes force
+  // long tie runs across both inputs.
+  TaskScheduler sched(2);
+  Xoshiro256 rng(0x57abULL);
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t m = rng.bounded(12000);
+    const std::size_t n = rng.bounded(12000);
+    const auto universe = static_cast<std::int32_t>(1 + rng.bounded(40));
+    const std::uint64_t seed = rng();
+    SCOPED_TRACE(::testing::Message() << "m=" << m << " n=" << n
+                                      << " universe=" << universe
+                                      << " seed=" << seed);
+    const auto input = make_keyed_input(m, n, universe, seed);
+
+    std::vector<KeyedRecord> expect(m + n), got(m + n);
+    std::merge(input.a.begin(), input.a.end(), input.b.begin(),
+               input.b.end(), expect.begin());
+    RecursiveConfig cfg;
+    cfg.scheduler = &sched;
+    cfg.merge_grain = 1 + rng.bounded(512);
+    par_merge_recursive(input.a.data(), m, input.b.data(), n, got.data(),
+                        cfg);
+    ASSERT_EQ(got, expect);
+  }
+}
+
+TEST(WorkStealing, RecursiveSortIsPayloadExactStable) {
+  TaskScheduler sched(2);
+  Xoshiro256 rng(0x50f7ULL);
+  for (int iter = 0; iter < 25; ++iter) {
+    const std::size_t n = rng.bounded(20000);
+    const auto universe = static_cast<std::int32_t>(1 + rng.bounded(50));
+    const std::uint64_t seed = rng();
+    SCOPED_TRACE(::testing::Message()
+                 << "n=" << n << " universe=" << universe << " seed=" << seed);
+    Xoshiro256 data_rng(seed);
+    std::vector<KeyedRecord> data(n);
+    for (std::size_t i = 0; i < n; ++i)
+      data[i] = KeyedRecord{
+          static_cast<std::int32_t>(data_rng.bounded(
+              static_cast<std::uint64_t>(universe))),
+          static_cast<std::uint32_t>(i)};
+    std::vector<KeyedRecord> expect = data;
+    std::stable_sort(expect.begin(), expect.end());
+
+    RecursiveConfig cfg;
+    cfg.scheduler = &sched;
+    cfg.sort_grain = 1 + rng.bounded(2048);
+    cfg.merge_grain = 1 + rng.bounded(2048);
+    recursive_merge_sort(data.data(), data.size(), cfg);
+    ASSERT_EQ(data, expect);
+  }
+}
+
+// ---- determinism ----------------------------------------------------------
+
+TEST(WorkStealing, ZeroWorkerSchedulerIsDeterministicAndStealFree) {
+  TaskScheduler sched(0);
+  EXPECT_EQ(sched.workers(), 0u);
+  const auto input = make_merge_input(Dist::kFewDuplicates, 40000, 35000, 77);
+  const auto expected = test::reference_merge(input.a, input.b);
+
+  RecursiveConfig cfg;
+  cfg.scheduler = &sched;
+  cfg.merge_grain = 512;
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<std::int32_t> out(input.a.size() + input.b.size());
+    par_merge_recursive(input.a.data(), input.a.size(), input.b.data(),
+                        input.b.size(), out.data(), cfg);
+    ASSERT_EQ(out, expected) << "pass " << pass;
+  }
+  const auto st = sched.stats();
+  EXPECT_GT(st.spawns, 0u);
+  EXPECT_EQ(st.steals, 0u)
+      << "no workers and one caller: nothing can steal";
+}
+
+TEST(WorkStealing, ParDoOutsideAnySchedulerRunsSerially) {
+  // No run(), no worker thread: par_do must degrade to plain serial
+  // calls with the same exception contract.
+  ASSERT_FALSE(TaskScheduler::in_task());
+  int f_ran = 0, g_ran = 0;
+  TaskScheduler::par_do([&] { ++f_ran; }, [&] { ++g_ran; });
+  EXPECT_EQ(f_ran, 1);
+  EXPECT_EQ(g_ran, 1);
+  try {
+    TaskScheduler::par_do([] { throw std::runtime_error("serial f"); },
+                          [&] { ++g_ran; });
+    FAIL() << "must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "serial f");
+  }
+  EXPECT_EQ(g_ran, 2) << "g still runs when f throws";
+}
+
+}  // namespace
+}  // namespace mp
