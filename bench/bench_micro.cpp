@@ -19,6 +19,10 @@
 #include "core/mergepath.hpp"
 #include "core/multiway_merge.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/fastclock.hpp"
+#include "obs/flight.hpp"
+#include "obs/percentiles.hpp"
+#include "obs/trace.hpp"
 #include "util/data_gen.hpp"
 #include "util/hw.hpp"
 #include "util/rng.hpp"
@@ -181,6 +185,88 @@ void BM_MultiwaySelect(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MultiwaySelect)->Arg(2)->Arg(8)->Arg(64);
+
+// --- Span overhead -------------------------------------------------------
+// Prices one obs::Span construct/destruct edge under every consumer
+// configuration the combined state byte can express, plus both clock
+// sources for the fully-armed case. "disarmed" is what every instrumented
+// region pays when nothing records (one atomic load); "compiled_out" is
+// the MP_TRACE=0 call site (NullSpan). The trace_tsc / trace_steady pair
+// isolates the clock cost: same consumers, different timestamp source.
+
+struct SpanOverheadConfig {
+  bool trace = false;
+  bool stats = false;
+  bool flight = false;
+  obs::ClockMode clock = obs::ClockMode::kAuto;
+};
+
+void run_span_overhead(benchmark::State& state,
+                       const SpanOverheadConfig& config) {
+  // All consumer/clock switches are control-plane operations; flip them
+  // outside the timed loop and restore the process defaults afterwards.
+  const bool flight_was = obs::flight_enabled();
+  obs::FastClock::set_mode(config.clock);
+  obs::set_flight_enabled(config.flight);
+  if (config.trace)
+    obs::arm_tracing();
+  else
+    obs::disarm_tracing();
+  obs::reset_span_stats();
+  if (config.stats)
+    obs::arm_span_stats();
+  else
+    obs::disarm_span_stats();
+  for (auto _ : state) {
+    obs::Span span("bench.span_overhead");
+    benchmark::DoNotOptimize(&span);
+  }
+  obs::disarm_tracing();
+  obs::reset_tracing();
+  obs::disarm_span_stats();
+  obs::reset_span_stats();
+  obs::set_flight_enabled(flight_was);
+  obs::FastClock::set_mode(obs::ClockMode::kAuto);
+}
+
+void BM_SpanOverhead_Disarmed(benchmark::State& state) {
+  run_span_overhead(state, {});
+}
+BENCHMARK(BM_SpanOverhead_Disarmed);
+
+void BM_SpanOverhead_FlightOnly(benchmark::State& state) {
+  run_span_overhead(state, {.flight = true});
+}
+BENCHMARK(BM_SpanOverhead_FlightOnly);
+
+void BM_SpanOverhead_StatsOnly(benchmark::State& state) {
+  run_span_overhead(state, {.stats = true});
+}
+BENCHMARK(BM_SpanOverhead_StatsOnly);
+
+void BM_SpanOverhead_TraceTsc(benchmark::State& state) {
+  run_span_overhead(
+      state, {.trace = true, .stats = true, .flight = true,
+              .clock = obs::ClockMode::kTsc});
+}
+BENCHMARK(BM_SpanOverhead_TraceTsc);
+
+void BM_SpanOverhead_TraceSteady(benchmark::State& state) {
+  run_span_overhead(
+      state, {.trace = true, .stats = true, .flight = true,
+              .clock = obs::ClockMode::kSteady});
+}
+BENCHMARK(BM_SpanOverhead_TraceSteady);
+
+void BM_SpanOverhead_CompiledOut(benchmark::State& state) {
+  // The MP_TRACE=0 call-site shape, selectable in any build: NullSpan
+  // swallows its arguments and carries no state.
+  for (auto _ : state) {
+    obs::detail::NullSpan span("bench.span_overhead");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanOverhead_CompiledOut);
 
 // --- Kernel ablation (BENCH_5) -------------------------------------------
 // One benchmark per dispatchable kernel on a pinned input (uniform, seed

@@ -51,6 +51,19 @@ double ratio_of(const std::vector<std::size_t>& assigned) {
                         static_cast<double>(sum);
 }
 
+/// The merged "pool.lane" percentile row from the armed span stats
+/// (zero-count when tracing is compiled out).
+obs::SpanStat lane_span_stat() {
+  for (const obs::SpanStat& stat : obs::span_stats_snapshot())
+    if (stat.name == "pool.lane") return stat;
+  return {};
+}
+
+std::string fmt_lane_us(std::uint64_t ns, std::uint64_t count) {
+  return count == 0 ? "-"
+                    : mp::fmt_double(static_cast<double>(ns) / 1e3, 1);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -144,10 +157,17 @@ int main(int argc, char** argv) {
     RecoveryConfig recovery;
     recovery.hedge.enabled = true;
 
+    // Span stats stay armed across clean AND faulty timings so both carry
+    // the same (tiny) recording cost and the overhead column stays honest;
+    // the lane percentile columns report the faulty run's distribution —
+    // recovery's tail, which mean lane time hides.
     Table rt({"algorithm", "clean_ms", "faulty_ms", "overhead", "faults",
-              "retries", "hedges", "fallbacks"});
+              "retries", "hedges", "fallbacks", "lane_p50_us",
+              "lane_p99_us"});
 
     {  // Algorithm 1 under fire.
+      obs::reset_span_stats();
+      obs::arm_span_stats();
       const double clean_s = time_best_of([&] {
         parallel_merge(input.a.data(), m, input.b.data(), n, out.data(),
                        rexec);
@@ -155,23 +175,28 @@ int main(int argc, char** argv) {
       fault::FaultPlan plan(fault_config);
       fault::ScopedInjector injector(pool, plan);
       RecoveryReport report;
+      obs::reset_span_stats();
       const double faulty_s = time_best_of([&] {
         report.absorb(resilient_parallel_merge(input.a.data(), m,
                                                input.b.data(), n, out.data(),
                                                rexec, std::less<>{},
                                                recovery));
       });
+      obs::disarm_span_stats();
       if (out != reference) {
         std::cerr << "E7b: recovered merge output diverged from clean run\n";
         return 1;
       }
+      const obs::SpanStat lane = lane_span_stat();
       rt.add_row({"parallel_merge", fmt_double(clean_s * 1e3, 2),
                   fmt_double(faulty_s * 1e3, 2),
                   fmt_double((faulty_s / clean_s - 1.0) * 100.0, 1) + "%",
                   std::to_string(report.injected_faults),
                   std::to_string(report.retried_lanes),
                   std::to_string(report.hedges),
-                  std::to_string(report.fallback_lanes)});
+                  std::to_string(report.fallback_lanes),
+                  fmt_lane_us(lane.p50_ns, lane.count),
+                  fmt_lane_us(lane.p99_ns, lane.count)});
     }
     {  // Section III sort under fire.
       std::vector<std::int32_t> shuffled(m + n);
@@ -179,6 +204,8 @@ int main(int argc, char** argv) {
       std::copy(input.b.begin(), input.b.end(),
                 shuffled.begin() + static_cast<std::ptrdiff_t>(m));
       std::vector<std::int32_t> work;
+      obs::reset_span_stats();
+      obs::arm_span_stats();
       const double clean_s = time_best_of([&] {
         work = shuffled;
         parallel_merge_sort(work.data(), work.size(), rexec);
@@ -187,22 +214,27 @@ int main(int argc, char** argv) {
       fault::FaultPlan plan(fault_config);
       fault::ScopedInjector injector(pool, plan);
       RecoveryReport report;
+      obs::reset_span_stats();
       const double faulty_s = time_best_of([&] {
         work = shuffled;
         report.absorb(resilient_parallel_merge_sort(
             work.data(), work.size(), rexec, std::less<>{}, recovery));
       });
+      obs::disarm_span_stats();
       if (work != sorted_reference) {
         std::cerr << "E7b: recovered sort output diverged from clean run\n";
         return 1;
       }
+      const obs::SpanStat lane = lane_span_stat();
       rt.add_row({"parallel_merge_sort", fmt_double(clean_s * 1e3, 2),
                   fmt_double(faulty_s * 1e3, 2),
                   fmt_double((faulty_s / clean_s - 1.0) * 100.0, 1) + "%",
                   std::to_string(report.injected_faults),
                   std::to_string(report.retried_lanes),
                   std::to_string(report.hedges),
-                  std::to_string(report.fallback_lanes)});
+                  std::to_string(report.fallback_lanes),
+                  fmt_lane_us(lane.p50_ns, lane.count),
+                  fmt_lane_us(lane.p99_ns, lane.count)});
     }
     h.emit(rt);
     if (!h.csv)

@@ -4,20 +4,36 @@
 Usage:
     check_trace.py TRACE.json [--metrics METRICS.json ...] [--min-events N]
                    [--require-known-names] [--min-span-depth N]
+                   [--flight] [--require-span-stats]
+                   [--traceprof PROF.json ...]
 
 TRACE.json is a Chrome/Perfetto trace_event file written by
-`mpsort --trace` or a bench harness's `--trace` flag; each --metrics
-argument is a metrics report written by `--metrics-json` /
-`--lane-metrics`. Checks (schema reference: docs/OBSERVABILITY.md):
+`mpsort --trace`, a bench harness's `--trace` flag, or (with --flight) a
+flight-recorder snapshot from `--flight-dump` / MP_FLIGHT_DUMP; each
+--metrics argument is a metrics report written by `--metrics-json` /
+`--lane-metrics`; each --traceprof argument is a `traceprof --json`
+report. Checks (schema reference: docs/OBSERVABILITY.md):
 
   trace:   parses as JSON; has traceEvents; every event carries the
            required keys for its phase; timestamps are non-negative and
            sorted; per-thread "X" spans nest properly (no partial overlap,
-           which would indicate a corrupted snapshot).
+           which would indicate a corrupted snapshot); otherData.clock
+           names the timestamp source that stamped the file.
+  flight:  with --flight, the trace must declare itself a flight-recorder
+           snapshot (otherData.flight_recorder true) and carry the
+           degradation reason key.
   metrics: schema tag mergepath-lane-metrics-v1; every lane row carries
            the op-count channels; the lane_time summary is present and
            self-consistent (max >= min, imbalance >= 1 when any lane
-           recorded time).
+           recorded time). When span_stats is present each row's
+           percentiles must be ordered (p50 <= p95 <= p99 <= max) and
+           consistent with count/sum; --require-span-stats makes a
+           missing or empty span_stats section a failure.
+  profile: each --traceprof report must carry the
+           mergepath-traceprof-v1 schema, a positive wall-clock, a
+           non-empty critical path whose attributed time does not exceed
+           the total, and per-worker rows whose busy/idle split is
+           self-consistent.
   names:   with --require-known-names, every non-metadata event name must
            belong to the library's span taxonomy below, so a renamed or
            typo'd span fails CI instead of silently vanishing from
@@ -42,9 +58,12 @@ KNOWN_NAMES = {
     # recursive splitting on the work-stealing scheduler
     "merge.rec", "sort.rec",
     # work-stealing task scheduler (sched.spawn / sched.steal are both
-    # instants and counters; sched.max_depth is a counter)
+    # instants and counters; sched.max_depth is a counter; sched.idle wraps
+    # a worker's condvar sleep)
     "sched.run", "sched.task", "sched.spawn", "sched.steal",
-    "sched.max_depth",
+    "sched.max_depth", "sched.idle",
+    # flight recorder: instant marking the moment recovery degraded
+    "flight.degraded",
     # segmented (cache-aware) merge
     "spm", "spm.fetch", "spm.segment", "spm.segment_len", "spm.flush",
     # multiway merge
@@ -72,7 +91,8 @@ def fail(msg: str) -> None:
 
 def check_trace(path: str, min_events: int,
                 require_known_names: bool = False,
-                min_span_depth: int = 0) -> None:
+                min_span_depth: int = 0,
+                flight: bool = False) -> None:
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -84,6 +104,18 @@ def check_trace(path: str, min_events: int,
     events = doc["traceEvents"]
     if not isinstance(events, list):
         fail(f"{path}: traceEvents is not a list")
+
+    other = doc.get("otherData", {})
+    clock = other.get("clock")
+    if not isinstance(clock, dict) or clock.get("source") not in ("tsc",
+                                                                  "steady"):
+        fail(f"{path}: otherData.clock missing or invalid: {clock!r}")
+    if flight:
+        if other.get("flight_recorder") is not True:
+            fail(f"{path}: expected a flight-recorder snapshot but "
+                 f"otherData.flight_recorder is {other.get('flight_recorder')!r}")
+        if "reason" not in other:
+            fail(f"{path}: flight snapshot missing the degradation reason")
 
     required = {
         "X": {"name", "ph", "ts", "dur", "pid", "tid"},
@@ -155,13 +187,39 @@ def check_trace(path: str, min_events: int,
           f"names: {', '.join(names[:12])}{'...' if len(names) > 12 else ''})")
 
 
-def check_metrics(path: str) -> None:
+def check_span_stats(path: str, doc: dict, required: bool) -> None:
+    stats = doc.get("span_stats")
+    if stats is None or not stats:
+        if required:
+            fail(f"{path}: span_stats missing or empty "
+                 f"(--require-span-stats)")
+        return
+    for row in stats:
+        for key in ("name", "count", "sum_ns", "p50_ns", "p95_ns",
+                    "p99_ns", "max_ns"):
+            if key not in row:
+                fail(f"{path}: span_stats row missing {key!r}: {row}")
+        if row["count"] <= 0:
+            fail(f"{path}: span_stats row {row['name']!r} has count 0")
+        if not (row["p50_ns"] <= row["p95_ns"] <= row["p99_ns"]
+                <= row["max_ns"]):
+            fail(f"{path}: span_stats row {row['name']!r} has unordered "
+                 f"percentiles: {row}")
+        if row["sum_ns"] < row["max_ns"]:
+            fail(f"{path}: span_stats row {row['name']!r}: sum < max")
+    print(f"check_trace: {path}: span_stats OK ({len(stats)} span name(s): "
+          f"{', '.join(r['name'] for r in stats[:8])}"
+          f"{'...' if len(stats) > 8 else ''})")
+
+
+def check_metrics(path: str, require_span_stats: bool = False) -> None:
     try:
         with open(path) as f:
             doc = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         fail(f"{path}: not readable as JSON: {e}")
 
+    check_span_stats(path, doc, require_span_stats)
     report = doc.get("lane_report", doc)
     if report.get("schema") != "mergepath-lane-metrics-v1":
         fail(f"{path}: bad or missing schema tag: {report.get('schema')!r}")
@@ -191,6 +249,52 @@ def check_metrics(path: str) -> None:
           f"imbalance {summary['imbalance']})")
 
 
+def check_traceprof(path: str) -> None:
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: not readable as JSON: {e}")
+
+    if doc.get("schema") != "mergepath-traceprof-v1":
+        fail(f"{path}: bad or missing schema tag: {doc.get('schema')!r}")
+    if doc.get("wall_ns", 0) <= 0:
+        fail(f"{path}: wall_ns must be positive: {doc.get('wall_ns')!r}")
+    if doc.get("clock") not in ("tsc", "steady", "unknown"):
+        fail(f"{path}: bad clock source: {doc.get('clock')!r}")
+    cp = doc.get("critical_path")
+    if not isinstance(cp, dict) or "total_ns" not in cp:
+        fail(f"{path}: critical_path section missing")
+    entries = cp.get("entries", [])
+    if not entries:
+        fail(f"{path}: critical path is empty (no spans attributed)")
+    attributed = 0
+    for entry in entries:
+        for key in ("name", "ns", "segments"):
+            if key not in entry:
+                fail(f"{path}: critical-path entry missing {key!r}: {entry}")
+        attributed += entry["ns"]
+    if attributed > cp["total_ns"]:
+        fail(f"{path}: critical-path entries sum to {attributed} ns > "
+             f"total {cp['total_ns']} ns")
+    if cp["total_ns"] > doc["wall_ns"]:
+        fail(f"{path}: critical path {cp['total_ns']} ns exceeds wall "
+             f"{doc['wall_ns']} ns")
+    workers = doc.get("workers", [])
+    if not workers:
+        fail(f"{path}: no per-worker rows")
+    for worker in workers:
+        for key in ("tid", "busy_ns", "idle_ns", "sleep_ns", "tasks",
+                    "steals", "spawns"):
+            if key not in worker:
+                fail(f"{path}: worker row missing {key!r}: {worker}")
+        if worker["busy_ns"] + worker["idle_ns"] > doc["wall_ns"] * 1.001 + 1:
+            fail(f"{path}: worker {worker['tid']}: busy+idle exceeds wall")
+    print(f"check_trace: {path}: OK (critical path "
+          f"{cp['total_ns']} ns across {len(entries)} span name(s), "
+          f"{len(workers)} worker(s))")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("trace", help="Chrome trace_event JSON to validate")
@@ -203,11 +307,21 @@ def main() -> None:
     parser.add_argument("--min-span-depth", type=int, default=0,
                         help="minimum nesting depth the span tree must "
                              "reach (nested fork-join traces are > 1)")
+    parser.add_argument("--flight", action="store_true",
+                        help="require the trace to be a flight-recorder "
+                             "snapshot (otherData.flight_recorder)")
+    parser.add_argument("--require-span-stats", action="store_true",
+                        help="fail if a --metrics report lacks span "
+                             "percentiles")
+    parser.add_argument("--traceprof", action="append", default=[],
+                        help="traceprof --json report(s) to validate")
     args = parser.parse_args()
     check_trace(args.trace, args.min_events, args.require_known_names,
-                args.min_span_depth)
+                args.min_span_depth, args.flight)
     for path in args.metrics:
-        check_metrics(path)
+        check_metrics(path, args.require_span_stats)
+    for path in args.traceprof:
+        check_traceprof(path)
 
 
 if __name__ == "__main__":

@@ -62,6 +62,7 @@
 #include "core/multiway_merge.hpp"
 #include "core/parallel_merge.hpp"
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/threading.hpp"
@@ -169,6 +170,7 @@ inline RecoveryReport run_lanes_with_recovery(
   // segments sequentially on the caller, outside the pool — no workers
   // needed, no injection points in the way. Disjoint outputs make the
   // partial re-merge byte-equivalent to a clean run.
+  if (!failed.empty()) obs::flight_report_degraded("pool.fallback");
   for (const unsigned lane : failed) {
     obs::Span::instant("pool.fallback", "lane", lane);
     ++report.fallback_lanes;

@@ -6,6 +6,7 @@
 #include "core/merge_path.hpp"
 #include "core/multiway_merge.hpp"
 #include "core/sequential_merge.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
@@ -150,7 +151,10 @@ DistMergeResult merge_path_exchange(const DistArray& a, const DistArray& b,
                     frag_b.size(), &i, &j, out.data(), out.size());
         break;
       } catch (const NetError&) {
-        if (attempt >= net.config().segment_retries) throw;
+        if (attempt >= net.config().segment_retries) {
+          obs::flight_report_degraded("dist.permanent");
+          throw;
+        }
         obs::Span::instant("dist.segment_retry", "rank", r);
         result.merged.shards[r].clear();
       }

@@ -22,6 +22,7 @@
 
 #include "extmem/block_device.hpp"
 #include "fault/fault.hpp"
+#include "obs/flight.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 
@@ -48,7 +49,8 @@ std::uint64_t retry_io(BlockDevice& device, const fault::RetryPolicy& retry,
     const IoStatus status = op();
     if (status == IoStatus::kOk) return attempt - 1;
     if (status == IoStatus::kNoSpace || status == IoStatus::kMediaError ||
-        attempt >= attempts)
+        attempt >= attempts) {
+      obs::flight_report_degraded("extmem.permanent");
       throw IoError(status, block,
                     std::string(what) + " block " + std::to_string(block) +
                         ": " + to_string(status) +
@@ -56,6 +58,7 @@ std::uint64_t retry_io(BlockDevice& device, const fault::RetryPolicy& retry,
                                  status == IoStatus::kShortTransfer
                              ? " (retries exhausted)"
                              : ""));
+    }
     obs::Span::instant("xsort.retry", "block", block);
     device.charge_latency(backoff);
     backoff *= 2.0;

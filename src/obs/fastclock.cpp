@@ -1,0 +1,119 @@
+#include "obs/fastclock.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/hw.hpp"
+
+namespace mp::obs {
+namespace {
+
+/// The requested mode: MP_FASTCLOCK env at startup, then set_mode().
+ClockMode g_mode = ClockMode::kAuto;
+bool g_env_read = false;
+
+ClockMode mode_from_env() {
+  const char* env = std::getenv("MP_FASTCLOCK");
+  if (!env) return ClockMode::kAuto;
+  if (std::strcmp(env, "tsc") == 0) return ClockMode::kTsc;
+  if (std::strcmp(env, "steady") == 0) return ClockMode::kSteady;
+  return ClockMode::kAuto;  // unknown values mean "auto", not an error
+}
+
+ClockMode effective_mode() {
+  if (!g_env_read) {
+    g_mode = mode_from_env();
+    g_env_read = true;
+  }
+  return g_mode;
+}
+
+/// Measures ns-per-tick against steady_clock over a short spin. ~1 ms is
+/// enough for <0.1% rate error, far below the span durations we care
+/// about, and runs once per process (or per set_mode call).
+void calibrate_tsc(detail::ClockState& state) {
+  constexpr std::uint64_t kSpinNs = 1'000'000;  // 1 ms
+  const std::uint64_t t0_ns = detail::steady_now_ns();
+  const std::uint64_t t0_tsc = detail::read_tsc();
+  std::uint64_t t1_ns = t0_ns;
+  std::uint64_t t1_tsc = t0_tsc;
+  while (t1_ns - t0_ns < kSpinNs) {
+    t1_tsc = detail::read_tsc();
+    t1_ns = detail::steady_now_ns();
+  }
+  if (t1_tsc <= t0_tsc) {
+    // TSC not advancing (emulated host?) — fall back.
+    state = detail::ClockState{};
+    return;
+  }
+  state.using_tsc = true;
+  state.ns_per_tick = static_cast<double>(t1_ns - t0_ns) /
+                      static_cast<double>(t1_tsc - t0_tsc);
+  // Re-anchor the epoch at the end of the spin so conversion error does not
+  // include the calibration window itself.
+  state.tsc_epoch = t1_tsc;
+  state.steady_epoch_ns = t1_ns;
+}
+
+void calibrate(detail::ClockState& state) {
+  const ClockMode mode = effective_mode();
+  bool want_tsc = false;
+  switch (mode) {
+    case ClockMode::kSteady: want_tsc = false; break;
+    case ClockMode::kTsc: want_tsc = detail::kHasTsc; break;
+    case ClockMode::kAuto:
+      want_tsc = detail::kHasTsc && cpu_features().invariant_tsc;
+      break;
+  }
+  if (!want_tsc) {
+    state = detail::ClockState{};
+    state.steady_epoch_ns = detail::steady_now_ns();
+    return;
+  }
+  calibrate_tsc(state);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool init_fast_clock() {
+  calibrate(g_clock_state);
+  return true;
+}
+
+}  // namespace detail
+
+void FastClock::set_mode(ClockMode mode) {
+  (void)now_ns();  // make sure first-use init has run (and stays run)
+  g_env_read = true;
+  g_mode = mode;
+  calibrate(detail::g_clock_state);
+}
+
+ClockMode FastClock::mode() { return effective_mode(); }
+
+ClockCalibration FastClock::calibration() {
+  (void)now_ns();
+  const detail::ClockState& state = detail::g_clock_state;
+  ClockCalibration cal;
+  cal.using_tsc = state.using_tsc;
+  cal.ns_per_tick = state.ns_per_tick;
+  cal.tsc_epoch = state.tsc_epoch;
+  cal.steady_epoch_ns = state.steady_epoch_ns;
+  return cal;
+}
+
+std::string FastClock::source_name() {
+  return calibration().using_tsc ? "tsc" : "steady";
+}
+
+}  // namespace mp::obs

@@ -1,0 +1,110 @@
+#pragma once
+/// \file fastclock.hpp
+/// Calibrated TSC timestamping for span edges.
+///
+/// A steady_clock read costs a vDSO call (~20-25 ns on the evaluation
+/// container); rdtsc is a single instruction (~6-8 ns including the
+/// serialisation the compiler emits around it). Armed spans take two
+/// timestamps each, so the clock is the dominant per-edge cost — the
+/// ROADMAP follow-up this file closes.
+///
+/// FastClock::now_ns() returns nanoseconds on the steady_clock timeline:
+///  - On x86 hosts whose CPUID reports an invariant TSC (constant rate
+///    across P-/C-state transitions), it calibrates ns-per-tick against
+///    steady_clock once at first use (~1 ms spin) and afterwards converts
+///    rdtsc readings:  steady_epoch + (tsc - tsc_epoch) * ns_per_tick.
+///  - Everywhere else (non-x86, non-invariant TSC, or MP_FASTCLOCK=steady)
+///    it falls back to a plain steady_clock read. Values stay directly
+///    comparable either way, and the active calibration is exported in
+///    trace metadata ("clock" in otherData) so offline tools can tell which
+///    source stamped a trace.
+///
+/// The mode can be forced at runtime with set_mode() (used by
+/// BM_SpanOverhead to price both sources in one binary) or with the
+/// MP_FASTCLOCK environment variable (auto | tsc | steady). set_mode() is a
+/// control-plane operation: like arm_tracing(), call it only while no
+/// instrumented work is in flight.
+///
+/// This file is NOT gated on MP_TRACE — it is just a clock, and the control
+/// plane (export metadata, tests) uses it even in no-trace builds.
+
+#include <cstdint>
+#include <string>
+
+namespace mp::obs {
+
+/// Timestamp source selection.
+enum class ClockMode : std::uint8_t {
+  kAuto,    ///< TSC when the CPU advertises invariance, else steady_clock
+  kTsc,     ///< force TSC (still falls back if the host has no TSC at all)
+  kSteady,  ///< force steady_clock
+};
+
+/// The active calibration, exported into trace metadata.
+struct ClockCalibration {
+  bool using_tsc = false;          ///< false: plain steady_clock reads
+  double ns_per_tick = 0.0;        ///< 0 when using_tsc is false
+  std::uint64_t tsc_epoch = 0;     ///< rdtsc at calibration
+  std::uint64_t steady_epoch_ns = 0;  ///< steady_clock at calibration (ns)
+};
+
+namespace detail {
+
+/// Calibration state, published once by init (or re-published by
+/// set_mode(), under the control-plane quiescence contract).
+struct ClockState {
+  bool using_tsc = false;
+  double ns_per_tick = 0.0;
+  std::uint64_t tsc_epoch = 0;
+  std::uint64_t steady_epoch_ns = 0;
+};
+
+inline ClockState g_clock_state{};
+
+/// Calibrates per the requested mode and fills g_clock_state. Returns true
+/// (the value anchors the function-local static in now_ns()).
+bool init_fast_clock();
+
+std::uint64_t steady_now_ns();
+
+#if defined(__x86_64__) || defined(__i386__)
+inline std::uint64_t read_tsc() { return __builtin_ia32_rdtsc(); }
+inline constexpr bool kHasTsc = true;
+#else
+inline std::uint64_t read_tsc() { return 0; }
+inline constexpr bool kHasTsc = false;
+#endif
+
+}  // namespace detail
+
+struct FastClock {
+  /// Nanoseconds on the steady_clock timeline. First call calibrates.
+  static std::uint64_t now_ns() {
+    static const bool ready = detail::init_fast_clock();
+    (void)ready;
+    const detail::ClockState& state = detail::g_clock_state;
+    if (state.using_tsc) {
+      const std::uint64_t ticks = detail::read_tsc() - state.tsc_epoch;
+      return state.steady_epoch_ns +
+             static_cast<std::uint64_t>(static_cast<double>(ticks) *
+                                        state.ns_per_tick);
+    }
+    return detail::steady_now_ns();
+  }
+
+  /// Forces a timestamp source and re-calibrates. Control-plane only: call
+  /// while no instrumented work is in flight (same contract as
+  /// arm_tracing). kAuto restores the CPUID-driven default.
+  static void set_mode(ClockMode mode);
+
+  /// The mode currently in effect (after env override / set_mode).
+  static ClockMode mode();
+
+  /// The active calibration (valid after the first now_ns()/set_mode()).
+  static ClockCalibration calibration();
+
+  /// "tsc" or "steady" — the active source, for banners and metadata.
+  static std::string source_name();
+};
+
+}  // namespace mp::obs

@@ -6,6 +6,8 @@
 #include <iostream>
 #include <ostream>
 
+#include "obs/percentiles.hpp"
+
 namespace mp::obs {
 
 namespace {
@@ -261,7 +263,19 @@ void write_metrics_json(std::ostream& os) {
   LaneMetrics::instance().snapshot().write_json(os);
   os << ",\"registry\":";
   MetricsRegistry::instance().write_json(os);
-  os << "}\n";
+  os << ",\"span_stats\":[";
+  bool first = true;
+  for (const SpanStat& stat : span_stats_snapshot()) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":";
+    write_json_string(os, stat.name);
+    os << ",\"count\":" << stat.count << ",\"sum_ns\":" << stat.sum_ns
+       << ",\"p50_ns\":" << stat.p50_ns << ",\"p95_ns\":" << stat.p95_ns
+       << ",\"p99_ns\":" << stat.p99_ns << ",\"max_ns\":" << stat.max_ns
+       << '}';
+  }
+  os << "],\"span_stats_dropped\":" << span_stats_dropped() << "}\n";
 }
 
 bool write_metrics_json_file(const std::string& path) {
@@ -271,6 +285,97 @@ bool write_metrics_json_file(const std::string& path) {
     return false;
   }
   write_metrics_json(out);
+  return out.good();
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition.
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted registry names
+/// ("pool.lane_faults") become underscored ("mergepath_pool_lane_faults").
+std::string prom_name(const std::string& name) {
+  std::string out = "mergepath_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9');
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Label values only need quote/backslash escaping.
+std::string prom_label_value(const std::string& value) {
+  std::string out;
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void export_prometheus(std::ostream& os) {
+  MetricsRegistry::instance().write_prometheus(os);
+
+  // Span-duration percentiles as summary-style series.
+  const std::vector<SpanStat> stats = span_stats_snapshot();
+  if (!stats.empty()) {
+    os << "# TYPE mergepath_span_duration_ns summary\n";
+    for (const SpanStat& stat : stats) {
+      const std::string label = prom_label_value(stat.name);
+      os << "mergepath_span_duration_ns{span=\"" << label
+         << "\",quantile=\"0.5\"} " << stat.p50_ns << '\n'
+         << "mergepath_span_duration_ns{span=\"" << label
+         << "\",quantile=\"0.95\"} " << stat.p95_ns << '\n'
+         << "mergepath_span_duration_ns{span=\"" << label
+         << "\",quantile=\"0.99\"} " << stat.p99_ns << '\n'
+         << "mergepath_span_duration_ns_sum{span=\"" << label << "\"} "
+         << stat.sum_ns << '\n'
+         << "mergepath_span_duration_ns_count{span=\"" << label << "\"} "
+         << stat.count << '\n';
+    }
+    os << "# TYPE mergepath_span_duration_ns_max gauge\n";
+    for (const SpanStat& stat : stats) {
+      os << "mergepath_span_duration_ns_max{span=\""
+         << prom_label_value(stat.name) << "\"} " << stat.max_ns << '\n';
+    }
+  }
+}
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    const std::string pname = prom_name(name) + "_total";
+    os << "# TYPE " << pname << " counter\n"
+       << pname << ' ' << counter->value() << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string pname = prom_name(name);
+    os << "# TYPE " << pname << " gauge\n"
+       << pname << ' ' << gauge->value() << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string pname = prom_name(name);
+    os << "# TYPE " << pname << " summary\n"
+       << pname << "_sum " << histogram->sum() << '\n'
+       << pname << "_count " << histogram->count() << '\n';
+  }
+}
+
+bool export_prometheus_file(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "obs: cannot write prometheus metrics to " << path << "\n";
+    return false;
+  }
+  export_prometheus(out);
   return out.good();
 }
 

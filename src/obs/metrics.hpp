@@ -105,6 +105,8 @@ class MetricsRegistry {
 
   /// {"counters":{...},"gauges":{...},"histograms":{...}}
   void write_json(std::ostream& os) const;
+  /// Prometheus text exposition of every registered instrument.
+  void write_prometheus(std::ostream& os) const;
   Table to_table() const;
 
  private:
@@ -210,9 +212,18 @@ class LaneMetrics {
   std::atomic<std::uint64_t> checkout_ns_{0};
 };
 
-/// Convenience: {"lane_report":...,"registry":...} — the machine-readable
-/// metrics artifact `mpsort --metrics-json` and the bench harness emit.
+/// Convenience: {"lane_report":...,"registry":...,"span_stats":[...]} — the
+/// machine-readable metrics artifact `mpsort --metrics-json` and the bench
+/// harness emit. span_stats carries the online per-span-name duration
+/// percentiles (percentiles.hpp); empty unless span stats were armed.
 void write_metrics_json(std::ostream& os);
 bool write_metrics_json_file(const std::string& path);
+
+/// Prometheus text exposition of the registry (counters, gauges, histogram
+/// count/sum) plus per-span-name duration percentiles as summary-style
+/// series: mergepath_span_duration_ns{span="...",quantile="0.5"} etc.
+/// Metric and label names are sanitised to [a-zA-Z0-9_:].
+void export_prometheus(std::ostream& os);
+bool export_prometheus_file(const std::string& path);
 
 }  // namespace mp::obs

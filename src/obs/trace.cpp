@@ -7,30 +7,20 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <sstream>
 
 namespace mp::obs {
 
+namespace detail {
+
+TraceRegistry& TraceRegistry::instance() {
+  static TraceRegistry* registry = new TraceRegistry;
+  return *registry;
+}
+
+}  // namespace detail
+
 #if MP_TRACE
-
-namespace {
-
-/// Owns every thread's ring buffer. Buffers are created on a thread's first
-/// recorded event and never destroyed (the registry itself is leaked on
-/// purpose: ThreadPool workers may still hold cached buffer pointers during
-/// static destruction, and ~3 MiB of process-lifetime state is cheaper than
-/// a shutdown-order hazard).
-struct TraceRegistry {
-  std::mutex mutex;
-  std::vector<std::unique_ptr<detail::ThreadBuffer>> buffers;
-  std::size_t capacity = kDefaultTraceCapacity;
-
-  static TraceRegistry& instance() {
-    static TraceRegistry* registry = new TraceRegistry;
-    return *registry;
-  }
-};
-
-}  // namespace
 
 namespace detail {
 
@@ -40,6 +30,7 @@ ThreadBuffer* register_thread_buffer() {
   auto buffer = std::make_unique<ThreadBuffer>();
   buffer->tid = static_cast<std::uint32_t>(registry.buffers.size());
   buffer->ring.resize(registry.capacity);
+  buffer->flight.resize(registry.flight_capacity);
   registry.buffers.push_back(std::move(buffer));
   return registry.buffers.back().get();
 }
@@ -47,7 +38,7 @@ ThreadBuffer* register_thread_buffer() {
 }  // namespace detail
 
 void arm_tracing(std::size_t events_per_thread) {
-  TraceRegistry& registry = TraceRegistry::instance();
+  detail::TraceRegistry& registry = detail::TraceRegistry::instance();
   std::lock_guard lock(registry.mutex);
   registry.capacity = events_per_thread;
   for (auto& buffer : registry.buffers) {
@@ -59,20 +50,24 @@ void arm_tracing(std::size_t events_per_thread) {
   detail::g_trace_epoch_ns.store(detail::monotonic_ns(),
                                  std::memory_order_relaxed);
   // Release pairs with the acquire in the span hot path: a thread that sees
-  // "armed" also sees the reset buffers and the new epoch.
-  detail::g_trace_armed.store(true, std::memory_order_release);
+  // the trace bit also sees the reset buffers and the new epoch.
+  detail::g_span_state.fetch_or(detail::kSpanTraceBit,
+                                std::memory_order_release);
 }
 
 void disarm_tracing() {
-  detail::g_trace_armed.store(false, std::memory_order_release);
+  detail::g_span_state.fetch_and(
+      static_cast<std::uint8_t>(~detail::kSpanTraceBit),
+      std::memory_order_release);
 }
 
 bool tracing_armed() {
-  return detail::g_trace_armed.load(std::memory_order_acquire);
+  return (detail::g_span_state.load(std::memory_order_acquire) &
+          detail::kSpanTraceBit) != 0;
 }
 
 void reset_tracing() {
-  TraceRegistry& registry = TraceRegistry::instance();
+  detail::TraceRegistry& registry = detail::TraceRegistry::instance();
   std::lock_guard lock(registry.mutex);
   for (auto& buffer : registry.buffers) {
     buffer->next = 0;
@@ -82,7 +77,7 @@ void reset_tracing() {
 }
 
 std::vector<TraceEvent> trace_snapshot() {
-  TraceRegistry& registry = TraceRegistry::instance();
+  detail::TraceRegistry& registry = detail::TraceRegistry::instance();
   std::lock_guard lock(registry.mutex);
   std::vector<TraceEvent> events;
   for (const auto& buffer : registry.buffers) {
@@ -104,7 +99,7 @@ std::vector<TraceEvent> trace_snapshot() {
 }
 
 std::uint64_t trace_dropped() {
-  TraceRegistry& registry = TraceRegistry::instance();
+  detail::TraceRegistry& registry = detail::TraceRegistry::instance();
   std::lock_guard lock(registry.mutex);
   std::uint64_t total = 0;
   for (const auto& buffer : registry.buffers) total += buffer->dropped;
@@ -112,7 +107,7 @@ std::uint64_t trace_dropped() {
 }
 
 std::size_t trace_thread_count() {
-  TraceRegistry& registry = TraceRegistry::instance();
+  detail::TraceRegistry& registry = detail::TraceRegistry::instance();
   std::lock_guard lock(registry.mutex);
   return registry.buffers.size();
 }
@@ -167,13 +162,28 @@ void write_micros(std::ostream& os, std::uint64_t ns) {
      << static_cast<char>('0' + ns % 10);
 }
 
+/// The active FastClock calibration as a JSON object, so offline tools can
+/// tell which source stamped the trace (and convert raw TSC readings).
+std::string clock_metadata_json() {
+  const ClockCalibration cal = FastClock::calibration();
+  std::ostringstream os;
+  os << "\"clock\":{\"source\":\"" << (cal.using_tsc ? "tsc" : "steady")
+     << "\",\"ns_per_tick\":" << cal.ns_per_tick
+     << ",\"tsc_epoch\":" << cal.tsc_epoch
+     << ",\"steady_epoch_ns\":" << cal.steady_epoch_ns << '}';
+  return os.str();
+}
+
 }  // namespace
 
-void write_chrome_trace(std::ostream& os) {
-  const std::vector<TraceEvent> events = trace_snapshot();
+namespace detail {
 
+void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events,
+                      std::uint64_t dropped,
+                      const std::string& extra_other_data) {
   os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{\"dropped_events\":"
-     << trace_dropped() << "},\"traceEvents\":[";
+     << dropped << ',' << clock_metadata_json() << extra_other_data
+     << "},\"traceEvents\":[";
   bool first = true;
   const auto comma = [&] {
     if (!first) os << ',';
@@ -223,6 +233,12 @@ void write_chrome_trace(std::ostream& os) {
     os << '}';
   }
   os << "\n]}\n";
+}
+
+}  // namespace detail
+
+void write_chrome_trace(std::ostream& os) {
+  detail::write_trace_json(os, trace_snapshot(), trace_dropped(), "");
 }
 
 bool write_chrome_trace_file(const std::string& path) {

@@ -1,41 +1,54 @@
 #pragma once
 /// \file trace.hpp
 /// Lane-level tracing: a lock-free per-thread span/counter recorder with a
-/// Chrome/Perfetto trace_event exporter (chrome_trace.cpp side lives in
-/// trace.cpp).
+/// Chrome/Perfetto trace_event exporter (trace.cpp), plus the shared
+/// per-thread storage for the flight recorder (flight.hpp) and the online
+/// span-duration percentiles (percentiles.hpp).
 ///
 /// Design (see docs/OBSERVABILITY.md):
-///  - Each recording thread owns a fixed-capacity ring buffer of complete
+///  - Each recording thread owns fixed-capacity ring buffers of complete
 ///    events. The hot path (Span construction/destruction) touches only
 ///    thread-local state — no locks, no allocation; the only shared access
-///    is one relaxed-ish atomic load of the "armed" flag. When the ring is
-///    full the oldest events are overwritten and counted as dropped, so a
-///    long run keeps the most recent window instead of failing.
+///    is one acquire load of a combined state byte that tells the span
+///    which consumers are armed (trace ring, span stats, flight ring).
+///    When a ring is full the oldest events are overwritten and counted as
+///    dropped, so a long run keeps the most recent window.
 ///  - Spans are stored as single complete records (start + duration), never
 ///    as separate begin/end entries, so ring eviction can not orphan half a
-///    span: every span in a snapshot is balanced by construction.
+///    span: every span in a snapshot is balanced by construction. (This is
+///    also what makes flight-recorder suffixes well-nested: dropping the
+///    oldest complete spans of a properly nested stream leaves a properly
+///    nested stream.)
+///  - Timestamps come from obs::FastClock (calibrated invariant-TSC rdtsc
+///    with automatic steady_clock fallback, fastclock.hpp). Trace events
+///    are stored relative to the arm epoch; flight events keep absolute
+///    FastClock time so the always-on ring survives re-arms.
 ///  - Arming, disarming, resetting and snapshotting are cold control-plane
-///    operations (trace.cpp). They may only run while no instrumented work
-///    is in flight — the same quiescence the ThreadPool's fork-join barrier
-///    already provides — which is what keeps the recorder TSan-clean
-///    without hot-path synchronisation.
+///    operations (trace.cpp / percentiles.cpp / flight.cpp). They may only
+///    run while no instrumented work is in flight — the same quiescence the
+///    ThreadPool's fork-join barrier already provides — which is what keeps
+///    the recorder TSan-clean without hot-path synchronisation.
 ///
 /// Compile-time gate: building with MP_TRACE=0 (cmake
 /// -DMERGEPATH_TRACE=OFF) replaces Span with an empty type and turns every
 /// call site into nothing — zero bytes of state, zero instructions. The
-/// control plane (arm/export) stays callable and reports an empty trace, so
-/// tools like `mpsort --trace` degrade gracefully instead of failing to
-/// build. The recording and no-op span types have distinct names (the
-/// `Span` alias selects one), so mixed-gate builds never define the same
-/// entity two different ways.
+/// control plane (arm/export, percentile and flight snapshots) stays
+/// callable and reports empty results, so tools like `mpsort --trace`
+/// degrade gracefully instead of failing to build. The recording and no-op
+/// span types have distinct names (the `Span` alias selects one), so
+/// mixed-gate builds never define the same entity two different ways.
 
+#include <array>
 #include <atomic>
-#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
+
+#include "obs/fastclock.hpp"
 
 #ifndef MP_TRACE
 #define MP_TRACE 1
@@ -46,9 +59,24 @@ namespace mp::obs {
 /// True when span call sites compile to real recording code.
 inline constexpr bool kTraceCompiledIn = MP_TRACE != 0;
 
-/// Default per-thread ring capacity (events). ~48 bytes/event, so 64Ki
-/// events ≈ 3 MiB per recording thread.
+/// Default per-thread trace-ring capacity (events). ~48 bytes/event, so
+/// 64Ki events ≈ 3 MiB per recording thread.
 inline constexpr std::size_t kDefaultTraceCapacity = std::size_t{1} << 16;
+
+/// Default per-thread flight-recorder capacity: the last 2Ki events
+/// (~96 KiB/thread) — enough to cover a full degraded request while staying
+/// cheap to keep always-armed.
+inline constexpr std::size_t kDefaultFlightCapacity = std::size_t{1} << 11;
+
+/// Per-thread span-stats name table size. Core span names number ~40; a
+/// thread emitting more distinct names than this counts the excess as
+/// dropped (span_stats_dropped) rather than growing on the hot path.
+inline constexpr std::size_t kSpanStatSlots = 64;
+
+/// Streaming-histogram geometry for span durations: exact buckets below
+/// 8 ns, then 8 sub-buckets per power of two (3 mantissa bits). See
+/// percentiles.hpp for the bucket mapping and the resulting error bound.
+inline constexpr std::size_t kSpanHistBuckets = 8 + 61 * 8;
 
 enum class EventKind : std::uint8_t {
   kSpan,     ///< timed interval (Chrome "X")
@@ -59,7 +87,8 @@ enum class EventKind : std::uint8_t {
 /// One recorded event. `name` and `arg_name` must be pointers to strings
 /// with static storage duration (the recorder stores the pointer only).
 struct TraceEvent {
-  std::uint64_t ts_ns = 0;       ///< start, relative to the arm epoch
+  std::uint64_t ts_ns = 0;       ///< start (epoch-relative in the trace
+                                 ///< ring, absolute in the flight ring)
   std::uint64_t dur_ns = 0;      ///< span duration; 0 for counter/instant
   const char* name = nullptr;    ///< static string
   const char* arg_name = nullptr;  ///< optional static string (nullptr: none)
@@ -70,14 +99,40 @@ struct TraceEvent {
 
 namespace detail {
 
-/// Per-thread event ring. Written only by its owning thread; read by the
-/// control plane while the owner is quiescent.
+/// Streaming log-bucketed histogram of span durations (one per distinct
+/// span name per thread). Written only by the owning thread.
+struct SpanHist {
+  std::array<std::uint64_t, kSpanHistBuckets> counts{};
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Per-thread recorder state. Written only by its owning thread; read by
+/// the control plane while the owner is quiescent.
 struct ThreadBuffer {
+  // Trace ring (armed window, epoch-relative timestamps).
   std::vector<TraceEvent> ring;
   std::size_t next = 0;        ///< next write slot
   std::size_t count = 0;       ///< valid events (<= ring.size())
   std::uint64_t dropped = 0;   ///< events lost to wraparound (or capacity 0)
-  std::uint32_t tid = 0;       ///< registration order
+
+  // Flight ring (always-armed window, absolute timestamps).
+  std::vector<TraceEvent> flight;
+  std::size_t flight_next = 0;
+  std::size_t flight_count = 0;
+
+  // Span-duration histograms, keyed by name pointer (lazy per-name alloc
+  // off the hot path; duplicate string literals from different TUs are
+  // re-merged by name at snapshot time).
+  struct StatSlot {
+    const char* name = nullptr;
+    std::unique_ptr<SpanHist> hist;
+  };
+  std::array<StatSlot, kSpanStatSlots> stats{};
+  std::uint64_t stats_dropped = 0;  ///< names beyond kSpanStatSlots
+
+  std::uint32_t tid = 0;  ///< registration order
 
   void push(const TraceEvent& event) {
     if (ring.empty()) {
@@ -91,12 +146,28 @@ struct ThreadBuffer {
     else
       ++dropped;  // overwrote the oldest event
   }
+
+  void flight_push(const TraceEvent& event) {
+    if (flight.empty()) return;
+    flight[flight_next] = event;
+    flight_next = flight_next + 1 == flight.size() ? 0 : flight_next + 1;
+    if (flight_count < flight.size()) ++flight_count;
+  }
 };
 
-/// Armed flag, checked inline on every span. The release store in
-/// arm_tracing() pairs with this acquire so a thread that observes "armed"
-/// also observes the (re)initialised buffers and epoch.
-inline std::atomic<bool> g_trace_armed{false};
+/// Bits of the combined span-state byte. One acquire load in the span
+/// constructor tells the hot path everything: 0 means "record nothing"
+/// (the disarmed cost is that single load), any set bit routes the span to
+/// the corresponding consumer in the destructor.
+inline constexpr std::uint8_t kSpanTraceBit = 1;   ///< trace ring armed
+inline constexpr std::uint8_t kSpanStatsBit = 2;   ///< percentiles armed
+inline constexpr std::uint8_t kSpanFlightBit = 4;  ///< flight ring enabled
+
+/// Combined state, checked inline on every span. The flight recorder is on
+/// by default ("always-armed"); flight.cpp clears the bit at startup when
+/// MP_FLIGHT=0. Release stores in the control plane pair with this acquire
+/// so a thread that observes a bit also observes the matching (re)init.
+inline std::atomic<std::uint8_t> g_span_state{kSpanFlightBit};
 
 /// Cached pointer to this thread's buffer. Buffers live until process exit
 /// (the registry never destroys them), so a cached pointer cannot dangle.
@@ -105,14 +176,10 @@ inline thread_local ThreadBuffer* g_thread_buffer = nullptr;
 /// Cold path: registers a buffer for the calling thread (trace.cpp).
 ThreadBuffer* register_thread_buffer();
 
-inline std::uint64_t monotonic_ns() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+inline std::uint64_t monotonic_ns() { return FastClock::now_ns(); }
 
-/// Arm epoch in monotonic_ns units; event timestamps are relative to it.
+/// Arm epoch in monotonic_ns units; trace-ring timestamps are relative to
+/// it (flight-ring timestamps are absolute).
 inline std::atomic<std::uint64_t> g_trace_epoch_ns{0};
 
 inline ThreadBuffer* local_buffer() {
@@ -121,13 +188,33 @@ inline ThreadBuffer* local_buffer() {
   return buffer;
 }
 
+/// Owns every thread's recorder state. Shared between trace.cpp,
+/// percentiles.cpp and flight.cpp; buffers are created on a thread's first
+/// recorded event and never destroyed (the registry itself is leaked on
+/// purpose: ThreadPool workers may still hold cached buffer pointers during
+/// static destruction, and a few MiB of process-lifetime state is cheaper
+/// than a shutdown-order hazard).
+struct TraceRegistry {
+  std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::size_t capacity = kDefaultTraceCapacity;
+  std::size_t flight_capacity = kDefaultFlightCapacity;
+
+  static TraceRegistry& instance();  // trace.cpp (leaked singleton)
+};
+
+/// Cold-ish path: folds one finished span into the thread's histogram for
+/// `name` (percentiles.cpp).
+void record_span_stat(ThreadBuffer& buffer, const char* name,
+                      std::uint64_t dur_ns);
+
 /// RAII span + counter/instant entry points, real implementation.
 class RecordingSpan {
  public:
   explicit RecordingSpan(const char* name, const char* arg_name = nullptr,
                          std::uint64_t arg = 0) {
-    if (!g_trace_armed.load(std::memory_order_acquire)) return;
-    buffer_ = local_buffer();
+    state_ = g_span_state.load(std::memory_order_acquire);
+    if (state_ == 0) return;
     name_ = name;
     arg_name_ = arg_name;
     arg_ = arg;
@@ -135,12 +222,24 @@ class RecordingSpan {
   }
 
   ~RecordingSpan() {
-    if (!buffer_) return;
-    const std::uint64_t epoch =
-        g_trace_epoch_ns.load(std::memory_order_relaxed);
+    if (state_ == 0) return;
     const std::uint64_t now = monotonic_ns();
-    buffer_->push(TraceEvent{start_ns_ - epoch, now - start_ns_, name_,
-                             arg_name_, arg_, 0, EventKind::kSpan});
+    const std::uint64_t dur = now - start_ns_;
+    ThreadBuffer* buffer = local_buffer();
+    if (state_ & kSpanTraceBit) {
+      const std::uint64_t epoch =
+          g_trace_epoch_ns.load(std::memory_order_relaxed);
+      // A span opened before the current arm window would underflow the
+      // epoch-relative timestamp (e.g. a sleeping scheduler worker whose
+      // idle span straddles a re-arm); such spans belong to no window.
+      if (start_ns_ >= epoch)
+        buffer->push(TraceEvent{start_ns_ - epoch, dur, name_, arg_name_,
+                                arg_, 0, EventKind::kSpan});
+    }
+    if (state_ & kSpanFlightBit)
+      buffer->flight_push(TraceEvent{start_ns_, dur, name_, arg_name_, arg_,
+                                     0, EventKind::kSpan});
+    if (state_ & kSpanStatsBit) record_span_stat(*buffer, name_, dur);
   }
 
   RecordingSpan(const RecordingSpan&) = delete;
@@ -148,25 +247,39 @@ class RecordingSpan {
 
   /// Records a sampled counter value (Chrome "C" event).
   static void counter(const char* name, std::uint64_t value) {
-    if (!g_trace_armed.load(std::memory_order_acquire)) return;
-    const std::uint64_t epoch =
-        g_trace_epoch_ns.load(std::memory_order_relaxed);
-    local_buffer()->push(TraceEvent{monotonic_ns() - epoch, 0, name, nullptr,
-                                    value, 0, EventKind::kCounter});
+    point_event(TraceEvent{0, 0, name, nullptr, value, 0,
+                           EventKind::kCounter});
   }
 
   /// Records a point-in-time event (Chrome "i" event).
   static void instant(const char* name, const char* arg_name = nullptr,
                       std::uint64_t arg = 0) {
-    if (!g_trace_armed.load(std::memory_order_acquire)) return;
-    const std::uint64_t epoch =
-        g_trace_epoch_ns.load(std::memory_order_relaxed);
-    local_buffer()->push(TraceEvent{monotonic_ns() - epoch, 0, name, arg_name,
-                                    arg, 0, EventKind::kInstant});
+    point_event(TraceEvent{0, 0, name, arg_name, arg, 0,
+                           EventKind::kInstant});
   }
 
  private:
-  ThreadBuffer* buffer_ = nullptr;  // nullptr: tracing was off at entry
+  static void point_event(TraceEvent event) {
+    const std::uint8_t state =
+        g_span_state.load(std::memory_order_acquire);
+    if ((state & (kSpanTraceBit | kSpanFlightBit)) == 0) return;
+    const std::uint64_t now = monotonic_ns();
+    ThreadBuffer* buffer = local_buffer();
+    if (state & kSpanTraceBit) {
+      const std::uint64_t epoch =
+          g_trace_epoch_ns.load(std::memory_order_relaxed);
+      if (now >= epoch) {
+        event.ts_ns = now - epoch;
+        buffer->push(event);
+      }
+    }
+    if (state & kSpanFlightBit) {
+      event.ts_ns = now;
+      buffer->flight_push(event);
+    }
+  }
+
+  std::uint8_t state_ = 0;  // consumers armed at entry; 0: record nothing
   const char* name_ = nullptr;
   const char* arg_name_ = nullptr;
   std::uint64_t arg_ = 0;
@@ -227,11 +340,23 @@ std::size_t trace_thread_count();
 
 /// Writes the Chrome/Perfetto trace_event JSON for the current snapshot
 /// (load via chrome://tracing or https://ui.perfetto.dev). Spans are "X"
-/// complete events; counters "C"; instants "i".
+/// complete events; counters "C"; instants "i". otherData carries the
+/// FastClock calibration under "clock".
 void write_chrome_trace(std::ostream& os);
 
 /// write_chrome_trace() to a file; returns false (and reports on stderr) if
 /// the file cannot be written.
 bool write_chrome_trace_file(const std::string& path);
+
+namespace detail {
+
+/// Shared exporter body: events must already be sorted; `extra_other_data`
+/// is a raw JSON fragment spliced into otherData (must start with ',' when
+/// non-empty, e.g. ",\"flight_recorder\":true").
+void write_trace_json(std::ostream& os, const std::vector<TraceEvent>& events,
+                      std::uint64_t dropped,
+                      const std::string& extra_other_data);
+
+}  // namespace detail
 
 }  // namespace mp::obs

@@ -5,6 +5,10 @@
 #include <sstream>
 #include <thread>
 
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
 namespace mp {
 namespace {
 
@@ -66,6 +70,12 @@ CpuFeatures probe_cpu() {
   __builtin_cpu_init();
   features.sse42 = __builtin_cpu_supports("sse4.2") != 0;
   features.avx2 = __builtin_cpu_supports("avx2") != 0;
+  // Invariant TSC lives in the extended power-management leaf, which
+  // __builtin_cpu_supports does not expose.
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(0x80000007u, &eax, &ebx, &ecx, &edx) != 0) {
+    features.invariant_tsc = (edx & (1u << 8)) != 0;
+  }
 #endif
   return features;
 }

@@ -39,6 +39,12 @@ struct HostInfo {
 struct CpuFeatures {
   bool sse42 = false;  ///< SSE4.2 (pcmpgtq — the 64-bit kernels need it)
   bool avx2 = false;   ///< AVX2 (256-bit integer min/max/permute)
+  /// Invariant TSC (CPUID 8000_0007h EDX bit 8): the timestamp counter
+  /// ticks at a constant rate across P-/C-state transitions, which is the
+  /// precondition for obs::FastClock to stamp spans with rdtsc instead of
+  /// a full steady_clock read. Non-x86 hosts (and pre-Nehalem parts)
+  /// report false and the clock stays on steady_clock.
+  bool invariant_tsc = false;
 };
 
 /// Queries the host (cached after the first call).

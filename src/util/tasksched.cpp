@@ -221,6 +221,10 @@ void worker_main(SchedState* sched, Worker* self) {
       continue;
     }
     {
+      // The idle span closes at wake-up; a span that straddles a trace
+      // re-arm is discarded by the recorder's epoch guard, so sleeping
+      // across control-plane operations is safe.
+      obs::Span idle_span("sched.idle");
       std::unique_lock lock(sched->sleep_mutex);
       sched->sleep_cv.wait(lock, [&] {
         return sched->shutdown.load(std::memory_order_relaxed) ||

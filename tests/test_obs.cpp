@@ -1,12 +1,15 @@
 // Tests of the observability subsystem (src/obs/): the lock-free trace
 // recorder (ring wraparound, snapshot ordering, Chrome-trace export), the
-// metrics registry, and the per-lane aggregation including the imbalance
-// summary. The multi-threaded stress cases double as the TSan coverage for
-// the recorder's quiescence contract.
+// FastClock calibration, online span percentiles, the flight recorder
+// (including the fault-injected degrade path), the metrics registry, and
+// the per-lane aggregation including the imbalance summary. The
+// multi-threaded stress cases double as the TSan coverage for the
+// recorder's quiescence contract.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
@@ -14,7 +17,12 @@
 
 #include "core/instrument.hpp"
 #include "core/parallel_merge.hpp"
+#include "core/recovery.hpp"
+#include "fault/fault.hpp"
+#include "obs/fastclock.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/percentiles.hpp"
 #include "obs/trace.hpp"
 #include "util/threading.hpp"
 
@@ -23,18 +31,32 @@ namespace {
 using namespace mp;
 
 // Every test arms/disarms its own window; the fixture guarantees a clean
-// slate even if an assertion fails mid-test.
+// slate even if an assertion fails mid-test. The flight recorder is kept
+// OFF by default so the exact-count trace assertions stay independent of
+// it; flight tests enable it themselves.
 class ObsTest : public ::testing::Test {
  protected:
   void SetUp() override {
     obs::disarm_tracing();
     obs::reset_tracing();
+    obs::disarm_span_stats();
+    obs::reset_span_stats();
+    obs::set_flight_enabled(false);
+    obs::set_flight_capacity(obs::kDefaultFlightCapacity);
+    obs::reset_flight();
     obs::LaneMetrics::instance().disarm();
     obs::LaneMetrics::instance().reset();
   }
   void TearDown() override {
     obs::disarm_tracing();
+    obs::disarm_span_stats();
+    obs::reset_span_stats();
+    obs::set_flight_enabled(false);
+    obs::set_flight_capacity(obs::kDefaultFlightCapacity);
+    obs::reset_flight();
+    obs::set_flight_dump_path("");
     obs::LaneMetrics::instance().disarm();
+    obs::FastClock::set_mode(obs::ClockMode::kAuto);
   }
 };
 
@@ -259,6 +281,361 @@ TEST_F(ObsTest, MultiThreadedRecordingStress) {
   std::ostringstream os;
   obs::write_chrome_trace(os);
   expect_balanced_json(os.str());
+}
+
+// ---------------------------------------------------------------------------
+// FastClock (not MP_TRACE-gated: it is just a clock).
+
+TEST_F(ObsTest, FastClockIsMonotonicAndCalibrated) {
+  std::uint64_t prev = obs::FastClock::now_ns();
+  EXPECT_GT(prev, 0u);
+  for (int k = 0; k < 10000; ++k) {
+    const std::uint64_t now = obs::FastClock::now_ns();
+    ASSERT_GE(now, prev);
+    prev = now;
+  }
+  const obs::ClockCalibration cal = obs::FastClock::calibration();
+  if (cal.using_tsc) {
+    EXPECT_GT(cal.ns_per_tick, 0.0);
+    EXPECT_EQ(obs::FastClock::source_name(), "tsc");
+  } else {
+    EXPECT_EQ(obs::FastClock::source_name(), "steady");
+  }
+}
+
+TEST_F(ObsTest, FastClockForcedSteadyFallsBack) {
+  obs::FastClock::set_mode(obs::ClockMode::kSteady);
+  EXPECT_EQ(obs::FastClock::mode(), obs::ClockMode::kSteady);
+  EXPECT_FALSE(obs::FastClock::calibration().using_tsc);
+  EXPECT_EQ(obs::FastClock::source_name(), "steady");
+  const std::uint64_t t0 = obs::FastClock::now_ns();
+  EXPECT_GE(obs::FastClock::now_ns(), t0);
+  // Forcing TSC succeeds wherever the instruction exists (invariance is
+  // only required for the kAuto default).
+  obs::FastClock::set_mode(obs::ClockMode::kTsc);
+  EXPECT_EQ(obs::FastClock::calibration().using_tsc, obs::detail::kHasTsc);
+  obs::FastClock::set_mode(obs::ClockMode::kAuto);
+}
+
+TEST_F(ObsTest, FastClockTracksSteadyClockAcrossModes) {
+  // Whatever the source, values live on the steady_clock timeline: a
+  // forced-steady read taken between two default-mode reads must land
+  // between them (with generous slack for scheduling).
+  const std::uint64_t before = obs::FastClock::now_ns();
+  obs::FastClock::set_mode(obs::ClockMode::kSteady);
+  const std::uint64_t mid = obs::FastClock::now_ns();
+  obs::FastClock::set_mode(obs::ClockMode::kAuto);
+  const std::uint64_t after = obs::FastClock::now_ns();
+  constexpr std::uint64_t kSlackNs = 50'000'000;  // 50 ms
+  EXPECT_GE(mid + kSlackNs, before);
+  EXPECT_GE(after + kSlackNs, mid);
+}
+
+// ---------------------------------------------------------------------------
+// Online span-duration percentiles.
+
+TEST_F(ObsTest, DurationBucketBoundsRoundTrip) {
+  // Exact unit buckets below 8 ns.
+  for (std::uint64_t ns = 0; ns < 8; ++ns) {
+    EXPECT_EQ(obs::duration_bucket(ns), ns);
+    const auto [lo, hi] = obs::duration_bucket_bounds(ns);
+    EXPECT_EQ(lo, ns);
+    EXPECT_EQ(hi, ns + 1);
+  }
+  // Every sampled value falls inside its bucket's bounds, and the mapping
+  // is monotone.
+  std::size_t prev_bucket = 0;
+  for (std::uint64_t ns = 1; ns < (std::uint64_t{1} << 62);
+       ns += 1 + ns / 3) {
+    const std::size_t bucket = obs::duration_bucket(ns);
+    ASSERT_LT(bucket, obs::kSpanHistBuckets);
+    EXPECT_GE(bucket, prev_bucket);
+    prev_bucket = bucket;
+    const auto [lo, hi] = obs::duration_bucket_bounds(bucket);
+    EXPECT_LE(lo, ns);
+    EXPECT_GT(hi, ns);
+    // Bounds round-trip: both edges map back to the same bucket.
+    EXPECT_EQ(obs::duration_bucket(lo), bucket);
+    EXPECT_EQ(obs::duration_bucket(hi - 1), bucket);
+  }
+}
+
+TEST_F(ObsTest, PercentilesWithinDocumentedErrorBound) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  // Deterministic pseudo-random durations across several scales, checked
+  // against exact order statistics. The histogram reports the bucket
+  // midpoint, so the estimate must land within kSpanStatsRelativeError
+  // of the exact quantile (plus 1 ns of integer slack).
+  std::vector<std::uint64_t> samples;
+  std::uint64_t x = 0x243f6a8885a308d3ull;
+  for (int k = 0; k < 20000; ++k) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    samples.push_back(x % 2'000'000 + 1);  // 1 ns .. 2 ms
+  }
+  obs::arm_span_stats();
+  for (const std::uint64_t ns : samples)
+    obs::record_span_duration("test.quantile", ns);
+  obs::disarm_span_stats();
+
+  const auto stats = obs::span_stats_snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  const obs::SpanStat& stat = stats[0];
+  EXPECT_EQ(stat.name, "test.quantile");
+  EXPECT_EQ(stat.count, samples.size());
+  std::sort(samples.begin(), samples.end());
+  EXPECT_EQ(stat.max_ns, samples.back());
+  const auto exact = [&](double q) {
+    const auto rank = static_cast<std::size_t>(
+        static_cast<double>(samples.size()) * q + 0.999999);
+    return samples[std::max<std::size_t>(rank, 1) - 1];
+  };
+  const auto check = [&](std::uint64_t est, double q) {
+    const double truth = static_cast<double>(exact(q));
+    EXPECT_NEAR(static_cast<double>(est), truth,
+                truth * obs::kSpanStatsRelativeError + 1.0)
+        << "quantile " << q;
+  };
+  check(stat.p50_ns, 0.50);
+  check(stat.p95_ns, 0.95);
+  check(stat.p99_ns, 0.99);
+  // Estimates never exceed the observed maximum (clamped).
+  EXPECT_LE(stat.p99_ns, stat.max_ns);
+}
+
+TEST_F(ObsTest, SpanStatsFromRealPoolSpans) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  obs::arm_span_stats();
+  ThreadPool pool(3);
+  pool.parallel_for_lanes(4, [](unsigned) {});
+  obs::disarm_span_stats();
+  const auto stats = obs::span_stats_snapshot();
+  bool found = false;
+  for (const obs::SpanStat& stat : stats) {
+    if (stat.name != "pool.lane") continue;
+    found = true;
+    EXPECT_EQ(stat.count, 4u);
+    EXPECT_GE(stat.max_ns, stat.p99_ns);
+    EXPECT_GE(stat.p99_ns, stat.p50_ns);
+    EXPECT_GE(stat.sum_ns, stat.max_ns);
+  }
+  EXPECT_TRUE(found) << "no pool.lane percentile row";
+}
+
+TEST_F(ObsTest, SpanStatsMergeAcrossThreads) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  // The same name recorded from every lane merges into one row whose
+  // count sums across per-thread histograms.
+  obs::arm_span_stats();
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    pool.parallel_for_lanes(4, [](unsigned lane) {
+      obs::record_span_duration("test.cross", 100 + lane);
+    });
+  }
+  obs::disarm_span_stats();
+  const auto stats = obs::span_stats_snapshot();
+  // The pool's own spans are excluded: stats were armed, so pool.lane etc.
+  // also recorded — find our row.
+  bool found = false;
+  for (const obs::SpanStat& stat : stats) {
+    if (stat.name != "test.cross") continue;
+    found = true;
+    EXPECT_EQ(stat.count, 20u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ObsTest, SpanStatsResetAndRearmStartClean) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  obs::arm_span_stats();
+  obs::record_span_duration("test.old", 5);
+  obs::disarm_span_stats();
+  EXPECT_FALSE(obs::span_stats_armed());
+  obs::reset_span_stats();
+  EXPECT_TRUE(obs::span_stats_snapshot().empty());
+  obs::arm_span_stats();
+  EXPECT_TRUE(obs::span_stats_armed());
+  obs::record_span_duration("test.new", 7);
+  obs::disarm_span_stats();
+  const auto stats = obs::span_stats_snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].name, "test.new");
+}
+
+TEST_F(ObsTest, MetricsJsonCarriesSpanStats) {
+  if (obs::kTraceCompiledIn) {
+    obs::arm_span_stats();
+    obs::record_span_duration("test.json_stat", 1000);
+    obs::disarm_span_stats();
+  }
+  std::ostringstream os;
+  obs::write_metrics_json(os);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"span_stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_stats_dropped\""), std::string::npos);
+  if (obs::kTraceCompiledIn) {
+    EXPECT_NE(json.find("\"test.json_stat\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99_ns\""), std::string::npos);
+  }
+}
+
+TEST_F(ObsTest, PrometheusExportSanitizesNamesAndEmitsQuantiles) {
+  obs::MetricsRegistry::instance().reset();
+  obs::MetricsRegistry::instance().counter("test.prom-ops").add(3);
+  obs::MetricsRegistry::instance().gauge("test.prom.level").set(-2);
+  if (obs::kTraceCompiledIn) {
+    obs::arm_span_stats();
+    for (int k = 1; k <= 100; ++k)
+      obs::record_span_duration("test.prom.span", 100 * k);
+    obs::disarm_span_stats();
+  }
+  std::ostringstream os;
+  obs::export_prometheus(os);
+  const std::string text = os.str();
+  // Dots and dashes sanitize to underscores in metric names; span names
+  // survive verbatim as label values.
+  EXPECT_NE(text.find("mergepath_test_prom_ops_total 3"), std::string::npos);
+  EXPECT_NE(text.find("mergepath_test_prom_level -2"), std::string::npos);
+  if (obs::kTraceCompiledIn) {
+    EXPECT_NE(text.find("mergepath_span_duration_ns{span=\"test.prom.span\","
+                        "quantile=\"0.5\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.95\""), std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+    EXPECT_NE(
+        text.find("mergepath_span_duration_ns_count{span=\"test.prom.span\""),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("mergepath_span_duration_ns_max{span=\"test.prom.span\""),
+        std::string::npos);
+  }
+  obs::MetricsRegistry::instance().reset();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder.
+
+TEST_F(ObsTest, FlightRecordsWhileTraceDisarmed) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  obs::set_flight_enabled(true);
+  EXPECT_TRUE(obs::flight_enabled());
+  {
+    obs::Span span("test.flight");
+  }
+  // The trace ring saw nothing (disarmed); the flight ring kept the span.
+  EXPECT_TRUE(events_named(obs::trace_snapshot(), "test.flight").empty());
+  EXPECT_EQ(events_named(obs::flight_snapshot(), "test.flight").size(), 1u);
+}
+
+TEST_F(ObsTest, FlightRingBoundedKeepsNewest) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  obs::set_flight_enabled(true);
+  obs::set_flight_capacity(8);
+  for (std::uint64_t k = 0; k < 20; ++k)
+    obs::Span::instant("test.fseq", "k", k);
+  obs::set_flight_enabled(false);
+  const auto events = events_named(obs::flight_snapshot(), "test.fseq");
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i)
+    EXPECT_EQ(events[i].arg, 12 + i);
+}
+
+TEST_F(ObsTest, FlightSnapshotNormalizesTimestamps) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  obs::set_flight_enabled(true);
+  obs::Span::instant("test.fnorm");
+  obs::Span::instant("test.fnorm");
+  obs::set_flight_enabled(false);
+  const auto events = obs::flight_snapshot();
+  ASSERT_GE(events.size(), 2u);
+  // Absolute FastClock stamps are rebased to the earliest retained event.
+  EXPECT_EQ(events.front().ts_ns, 0u);
+  EXPECT_TRUE(std::is_sorted(
+      events.begin(), events.end(),
+      [](const auto& x, const auto& y) { return x.ts_ns < y.ts_ns; }));
+}
+
+TEST_F(ObsTest, WriteFlightTraceMarksRecorderAndReason) {
+  obs::set_flight_enabled(true);
+  {
+    obs::Span span("test.fdump");
+  }
+  std::ostringstream os;
+  obs::write_flight_trace(os);
+  const std::string json = os.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"flight_recorder\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"\""), std::string::npos);
+
+  obs::flight_report_degraded("test.reason");
+  EXPECT_TRUE(obs::flight_degraded());
+  std::ostringstream os2;
+  obs::write_flight_trace(os2);
+  EXPECT_NE(os2.str().find("\"reason\":\"test.reason\""), std::string::npos);
+  if (obs::kTraceCompiledIn) {
+    EXPECT_NE(os2.str().find("\"flight.degraded\""), std::string::npos);
+  }
+}
+
+TEST_F(ObsTest, FlightWritePendingNeedsDegradeOrForce) {
+  obs::set_flight_enabled(true);
+  const std::string path =
+      ::testing::TempDir() + "obs_flight_pending.json";
+  obs::set_flight_dump_path(path);
+  EXPECT_EQ(obs::flight_dump_path(), path);
+  // Healthy run: nothing to write.
+  EXPECT_FALSE(obs::flight_write_pending());
+  // Forced (mpsort --flight-dump): writes once, then the latch holds.
+  EXPECT_TRUE(obs::flight_write_pending(/*force=*/true));
+  EXPECT_FALSE(obs::flight_write_pending(/*force=*/true));
+}
+
+TEST_F(ObsTest, FlightSnapshotOnDegrade) {
+  if (!obs::kTraceCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "fault injection compiled out";
+  // Every lane op faults permanently: retries exhaust, the recovery engine
+  // reports degraded and falls back to sequential execution — and the
+  // always-armed flight recorder must then auto-write its snapshot from
+  // the quiescent finalisation call, without force.
+  obs::set_flight_enabled(true);
+  const std::string path =
+      ::testing::TempDir() + "obs_flight_degrade.json";
+  obs::set_flight_dump_path(path);
+
+  std::vector<int> data(4096);
+  for (std::size_t k = 0; k < data.size(); ++k)
+    data[k] = static_cast<int>(data.size() - k);
+  {
+    ThreadPool pool(3);
+    fault::FaultConfig config;
+    config.seed = 7;
+    config.lane_delay_us = 50.0;
+    fault::FaultPlan plan(config);
+    plan.fail_from(0, fault::FaultKind::kLaneThrow);
+    fault::ScopedInjector injector(pool, plan);
+    const RecoveryReport report = resilient_parallel_merge_sort(
+        data.data(), data.size(), Executor{&pool, 4});
+    EXPECT_GT(report.fallback_lanes, 0u);
+  }
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+  EXPECT_TRUE(obs::flight_degraded());
+  EXPECT_STREQ(obs::flight_degraded_reason(), "pool.fallback");
+
+  ASSERT_TRUE(obs::flight_write_pending());
+  EXPECT_FALSE(obs::flight_write_pending());  // one dump per degrade
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"flight_recorder\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"reason\":\"pool.fallback\""), std::string::npos);
+  EXPECT_NE(json.find("\"flight.degraded\""), std::string::npos);
+  EXPECT_NE(json.find("\"pool.lane\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -14,6 +14,9 @@
 #include <vector>
 
 #include "core/parallel_merge.hpp"
+#include "obs/fastclock.hpp"
+#include "obs/flight.hpp"
+#include "obs/percentiles.hpp"
 #include "obs/trace.hpp"
 #include "util/threading.hpp"
 
@@ -78,6 +81,53 @@ TEST(ObsNoop, TemplatesInstantiatedHereRecordNoMergeSpans) {
   // -DMERGEPATH_TRACE=OFF build the whole binary records nothing.
   EXPECT_EQ(has_event(events, "pool.job"), lib_traces);
   EXPECT_EQ(has_event(events, "pool.lane"), lib_traces);
+}
+
+TEST(ObsNoop, NoopSpansReachNeitherStatsNorFlight) {
+  // The state byte routes a RecordingSpan to every armed consumer — but
+  // this TU's spans are NullSpan, so with percentiles armed and the flight
+  // recorder on, nothing from here may appear in either.
+  const bool flight_was = obs::flight_enabled();
+  obs::set_flight_enabled(true);
+  obs::reset_flight();
+  obs::reset_span_stats();
+  obs::arm_span_stats();
+  {
+    obs::Span span("noop.stat_span");
+    obs::Span::instant("noop.flight_instant");
+  }
+  obs::disarm_span_stats();
+  for (const obs::SpanStat& stat : obs::span_stats_snapshot())
+    EXPECT_NE(stat.name, "noop.stat_span");
+  EXPECT_FALSE(has_event(obs::flight_snapshot(), "noop.stat_span"));
+  EXPECT_FALSE(has_event(obs::flight_snapshot(), "noop.flight_instant"));
+  obs::reset_span_stats();
+  obs::reset_flight();
+  obs::set_flight_enabled(flight_was);
+}
+
+TEST(ObsNoop, PercentileAndFlightControlPlanesStayCallable) {
+  // Arm/snapshot/reset and the exporters must work (possibly empty) so
+  // tools keep their flags in an MP_TRACE=0 build.
+  obs::reset_span_stats();
+  obs::arm_span_stats();
+  obs::disarm_span_stats();
+  EXPECT_EQ(obs::span_stats_dropped(), 0u);
+  std::ostringstream flight_os;
+  obs::write_flight_trace(flight_os);
+  EXPECT_NE(flight_os.str().find("\"flight_recorder\":true"),
+            std::string::npos);
+  EXPECT_FALSE(obs::flight_write_pending());  // no degrade, no dump path
+}
+
+TEST(ObsNoop, FastClockWorksWithoutTracing) {
+  // The clock is not gated on MP_TRACE: timestamps and calibration
+  // metadata must work even when every span is compiled out.
+  const std::uint64_t t0 = obs::FastClock::now_ns();
+  EXPECT_GT(t0, 0u);
+  EXPECT_GE(obs::FastClock::now_ns(), t0);
+  const std::string source = obs::FastClock::source_name();
+  EXPECT_TRUE(source == "tsc" || source == "steady") << source;
 }
 
 TEST(ObsNoop, ControlPlaneDegradesGracefully) {

@@ -44,9 +44,12 @@
 #include "extmem/external_sort.hpp"
 #include "fault/fault.hpp"
 #include "kernels/kernels.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/percentiles.hpp"
 #include "obs/trace.hpp"
 #include "util/hw.hpp"
+#include "util/table.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -66,8 +69,16 @@ using namespace mp;
       "                         widest ISA the host supports)\n"
       "observability (any command):\n"
       "  --trace <file.json>    write a Chrome/Perfetto trace of the run\n"
-      "  --metrics              print the per-lane balance table to stderr\n"
+      "  --metrics              print the per-lane balance and span\n"
+      "                         percentile tables to stderr\n"
       "  --metrics-json <file>  write the metrics report as JSON\n"
+      "                         (includes per-span p50/p95/p99)\n"
+      "  --prometheus <file>    write Prometheus text metrics (counters,\n"
+      "                         gauges, span duration percentiles)\n"
+      "  --flight-dump <file>   write the flight-recorder snapshot (the\n"
+      "                         last spans of every thread) at exit; on a\n"
+      "                         degraded run the dump happens even without\n"
+      "                         this flag when MP_FLIGHT_DUMP is set\n"
       "fault drill (sort --binary only):\n"
       "  --fault-rate R         sort externally on a simulated device with\n"
       "                         per-op fault probability R in [0, 1]\n"
@@ -89,6 +100,8 @@ struct Options {
   double lane_fault_rate = 0.0;
   std::string trace_path;
   std::string metrics_json;
+  std::string prometheus_path;
+  std::string flight_dump;
   std::vector<std::string> files;
 };
 
@@ -108,6 +121,12 @@ Options parse(int argc, char** argv, int first) {
     } else if (arg == "--metrics-json") {
       if (++i >= argc) usage();
       opt.metrics_json = argv[i];
+    } else if (arg == "--prometheus") {
+      if (++i >= argc) usage();
+      opt.prometheus_path = argv[i];
+    } else if (arg == "--flight-dump") {
+      if (++i >= argc) usage();
+      opt.flight_dump = argv[i];
     } else if (arg == "--kernel") {
       if (++i >= argc) usage();
       const auto kernel = kernels::parse_kernel(argv[i]);
@@ -437,8 +456,10 @@ void finalize_observability(const Options& opt) {
     obs::write_chrome_trace_file(opt.trace_path);
     std::cerr << "trace written to " << opt.trace_path << "\n";
   }
-  if (opt.metrics || !opt.metrics_json.empty()) {
+  if (opt.metrics || !opt.metrics_json.empty() ||
+      !opt.prometheus_path.empty()) {
     obs::LaneMetrics::instance().disarm();
+    obs::disarm_span_stats();
     if (opt.metrics) {
       const obs::LaneReport report = obs::LaneMetrics::instance().snapshot();
       report.to_table().print(std::cerr);
@@ -448,11 +469,33 @@ void finalize_observability(const Options& opt) {
                 << report.checkout_ns << " ns)\n"
                 << "lane time max/mean imbalance "
                 << report.imbalance << "\n";
+      const std::vector<obs::SpanStat> stats = obs::span_stats_snapshot();
+      if (!stats.empty()) {
+        Table table({"span", "count", "p50_us", "p95_us", "p99_us",
+                     "max_us", "total_ms"});
+        for (const obs::SpanStat& stat : stats)
+          table.add_row(
+              {stat.name, std::to_string(stat.count),
+               fmt_double(static_cast<double>(stat.p50_ns) / 1e3, 2),
+               fmt_double(static_cast<double>(stat.p95_ns) / 1e3, 2),
+               fmt_double(static_cast<double>(stat.p99_ns) / 1e3, 2),
+               fmt_double(static_cast<double>(stat.max_ns) / 1e3, 2),
+               fmt_double(static_cast<double>(stat.sum_ns) / 1e6, 3)});
+        table.print(std::cerr);
+      }
     }
     if (!opt.metrics_json.empty() &&
         obs::write_metrics_json_file(opt.metrics_json))
       std::cerr << "metrics written to " << opt.metrics_json << "\n";
+    if (!opt.prometheus_path.empty() &&
+        obs::export_prometheus_file(opt.prometheus_path))
+      std::cerr << "prometheus metrics written to " << opt.prometheus_path
+                << "\n";
   }
+  // Flight recorder: --flight-dump forces a snapshot; otherwise a dump
+  // destination (flag or MP_FLIGHT_DUMP) only fires if the run degraded.
+  if (!opt.flight_dump.empty()) obs::set_flight_dump_path(opt.flight_dump);
+  obs::flight_write_pending(/*force=*/!opt.flight_dump.empty());
 }
 
 }  // namespace
@@ -464,8 +507,12 @@ int main(int argc, char** argv) {
 
   std::cerr << "mpsort: " << kernels::kernel_banner() << "\n";
 
-  if (opt.metrics || !opt.metrics_json.empty())
+  if (opt.metrics || !opt.metrics_json.empty() ||
+      !opt.prometheus_path.empty()) {
     obs::LaneMetrics::instance().arm();
+    obs::reset_span_stats();
+    obs::arm_span_stats();
+  }
   if (!opt.trace_path.empty()) obs::arm_tracing();
 
   const int rc = run_command(command, opt);
