@@ -1,0 +1,215 @@
+/// \file bench_serve.cpp
+/// E17 — merge-as-a-service: cross-request batching throughput (BENCH_8).
+///
+/// Closed-loop load against two servers that differ in exactly one bit:
+/// ServerConfig::batching. Same seed, same skewed 4–64 Ki request mix,
+/// same executor thread count — so the throughput ratio isolates what
+/// coalescing buys: one segmented fork-join (one barrier, one checkout)
+/// across many small sorts instead of a parallel sort dispatched
+/// per-request.
+///
+/// Flags (beyond the harness_common set):
+///   --requests N          closed-loop requests per mode (default 768;
+///                         --full 3072)
+///   --sessions N          concurrent sessions (default 32)
+///   --window N            per-session outstanding window (default 8)
+///   --threads N           executor lanes, equal in both modes (default 40)
+///   --min-elements N      smallest request (default 4096)
+///   --max-elements N      largest request (default 65536)
+///   --skew S              size skew exponent, higher = smaller requests
+///                         dominate (default 8)
+///   --merge-fraction F    fraction of requests that are merges
+///                         (default 0; merges never coalesce, so they
+///                         break batch-assembly runs — dial in to study)
+///   --width64-fraction F  fraction of 64-bit-key requests (default 0;
+///                         width changes also break runs)
+///   --json PATH           write the BENCH_8 artifact
+///                         (schema mergepath-bench-serve-v1)
+///
+/// Default shape, deliberately serving-flavoured: a deep closed loop
+/// (32 sessions x window 8) over a Zipf-ish 4-64 Ki mix where small
+/// requests dominate, against a worker pool sized like a service's
+/// (40 lanes), not like this host. That is the regime the tentpole
+/// targets: per-request fork-join dispatch pays the full barrier +
+/// checkout + oversubscription cost per request, while the batched
+/// server pays it once per ~64-request segmented job. On a many-core
+/// host the same amortization shows up at lower thread counts with
+/// cheaper barriers; the ratio is the point, not the absolute rps.
+///
+/// The p50/p99 columns come from two independent surfaces and should
+/// roughly agree: the load generator's own end-to-end latencies and the
+/// PR 7 span-percentile surface (`serve.request`).
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness_common.hpp"
+#include "obs/percentiles.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/serve.hpp"
+#include "util/hw.hpp"
+#include "util/threading.hpp"
+
+namespace mp::bench {
+namespace {
+
+struct ModeResult {
+  std::string mode;
+  serve::LoadGenReport rep;
+  obs::SpanStat request{};     ///< serve.request span percentiles
+  obs::SpanStat queue_wait{};  ///< serve.queue_wait span percentiles
+  std::uint64_t batches = 0;
+};
+
+ModeResult run_mode(bool batching, unsigned threads,
+                    const serve::LoadGenConfig& lg) {
+  obs::reset_span_stats();
+  obs::arm_span_stats();
+
+  ThreadPool pool(threads);
+  serve::ServerConfig cfg;
+  cfg.exec = Executor{&pool, threads};
+  cfg.batching = batching;
+  cfg.record_batch_sizes = true;
+
+  ModeResult out;
+  out.mode = batching ? "batched" : "unbatched";
+  {
+    serve::Server server(cfg);
+    out.rep = serve::run_closed_loop(server, lg);
+    server.shutdown();
+    out.batches = server.stats().batches;
+  }
+  obs::disarm_span_stats();
+  for (const obs::SpanStat& s : obs::span_stats_snapshot()) {
+    if (s.name == std::string("serve.request")) out.request = s;
+    if (s.name == std::string("serve.queue_wait")) out.queue_wait = s;
+  }
+  return out;
+}
+
+void write_artifact(const std::string& path, const serve::LoadGenConfig& lg,
+                    unsigned threads, const ModeResult& batched,
+                    const ModeResult& unbatched, double speedup) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "error: cannot write " << path << "\n";
+    std::exit(1);
+  }
+  const auto mode_json = [&](const ModeResult& m) {
+    os << "    {\n"
+       << "      \"mode\": \"" << m.mode << "\",\n"
+       << "      \"completed\": " << m.rep.completed << ",\n"
+       << "      \"batched_responses\": " << m.rep.batched << ",\n"
+       << "      \"batches\": " << m.batches << ",\n"
+       << "      \"throughput_rps\": " << m.rep.throughput_rps() << ",\n"
+       << "      \"throughput_elems_per_s\": " << m.rep.throughput_elems_s()
+       << ",\n"
+       << "      \"p50_us\": " << m.rep.latency_ns(0.50) / 1e3 << ",\n"
+       << "      \"p99_us\": " << m.rep.latency_ns(0.99) / 1e3 << ",\n"
+       << "      \"p999_us\": " << m.rep.latency_ns(0.999) / 1e3 << ",\n"
+       << "      \"span_request_p50_us\": " << m.request.p50_ns / 1e3
+       << ",\n"
+       << "      \"span_request_p99_us\": " << m.request.p99_ns / 1e3
+       << "\n    }";
+  };
+  os << "{\n"
+     << "  \"schema\": \"mergepath-bench-serve-v1\",\n"
+     << "  \"experiment\": \"E17\",\n"
+     << "  \"host\": \"" << describe(host_info()) << "\",\n"
+     << "  \"seed\": " << lg.seed << ",\n"
+     << "  \"threads\": " << threads << ",\n"
+     << "  \"requests\": " << lg.requests << ",\n"
+     << "  \"sessions\": " << lg.sessions << ",\n"
+     << "  \"window\": " << lg.window << ",\n"
+     << "  \"min_elements\": " << lg.mix.min_elements << ",\n"
+     << "  \"max_elements\": " << lg.mix.max_elements << ",\n"
+     << "  \"size_skew\": " << lg.mix.size_skew << ",\n"
+     << "  \"merge_fraction\": " << lg.mix.merge_fraction << ",\n"
+     << "  \"width64_fraction\": " << lg.mix.width64_fraction << ",\n"
+     << "  \"speedup_batched_vs_unbatched\": " << speedup << ",\n"
+     << "  \"modes\": [\n";
+  mode_json(batched);
+  os << ",\n";
+  mode_json(unbatched);
+  os << "\n  ]\n}\n";
+  std::cerr << "artifact written to " << path << "\n";
+}
+
+}  // namespace
+}  // namespace mp::bench
+
+int main(int argc, char** argv) {
+  using namespace mp;
+  using namespace mp::bench;
+
+  Harness h(argc, argv, "E17",
+            "merge-as-a-service: cross-request batching throughput");
+  const auto requests = static_cast<std::size_t>(
+      h.cli.get_int("requests", h.full ? 3072 : 768));
+  const auto sessions =
+      static_cast<std::size_t>(h.cli.get_int("sessions", 32));
+  const auto window = static_cast<std::size_t>(h.cli.get_int("window", 8));
+  const auto threads = static_cast<unsigned>(h.cli.get_int("threads", 40));
+  serve::LoadGenConfig lg;
+  lg.seed = h.seed;
+  lg.sessions = sessions;
+  lg.window = window;
+  lg.requests = requests;
+  lg.mix.min_elements =
+      static_cast<std::size_t>(h.cli.get_int("min-elements", 4096));
+  lg.mix.max_elements =
+      static_cast<std::size_t>(h.cli.get_int("max-elements", 65536));
+  lg.mix.size_skew = h.cli.get_double("skew", 8.0);
+  lg.mix.merge_fraction = h.cli.get_double("merge-fraction", 0.0);
+  lg.mix.width64_fraction = h.cli.get_double("width64-fraction", 0.0);
+  const std::string json_path = h.cli.get("json", "");
+  // The CI bench sweep passes --benchmark_min_time to every bench_*
+  // binary; this harness isn't google-benchmark, so accept and ignore it.
+  (void)h.cli.get("benchmark_min_time", "");
+  h.check_flags();
+
+  // Unbatched first so the batched run cannot ride a warmed allocator
+  // unfairly — if anything the ordering favours the mode we bet against.
+  const ModeResult unbatched = run_mode(false, threads, lg);
+  const ModeResult batched = run_mode(true, threads, lg);
+
+  for (const ModeResult* m : {&unbatched, &batched}) {
+    if (!m->rep.ok()) {
+      std::cerr << "error: " << m->mode
+                << " run failed verification (conservation="
+                << m->rep.conservation_ok << " ordering=" << m->rep.ordering_ok
+                << " payload=" << m->rep.payload_ok
+                << " failed=" << m->rep.failed << ")\n";
+      return 1;
+    }
+  }
+
+  Table table({"mode", "completed", "batches", "rps", "Melems/s", "p50_ms",
+               "p99_ms", "p999_ms", "span_p50_ms", "span_p99_ms"});
+  for (const ModeResult* m : {&unbatched, &batched}) {
+    table.add_row(
+        {m->mode, std::to_string(m->rep.completed),
+         std::to_string(m->batches), fmt_double(m->rep.throughput_rps(), 1),
+         fmt_double(m->rep.throughput_elems_s() / 1e6, 2),
+         fmt_double(static_cast<double>(m->rep.latency_ns(0.50)) / 1e6, 3),
+         fmt_double(static_cast<double>(m->rep.latency_ns(0.99)) / 1e6, 3),
+         fmt_double(static_cast<double>(m->rep.latency_ns(0.999)) / 1e6, 3),
+         fmt_double(static_cast<double>(m->request.p50_ns) / 1e6, 3),
+         fmt_double(static_cast<double>(m->request.p99_ns) / 1e6, 3)});
+  }
+  h.emit(table);
+
+  const double speedup = unbatched.rep.throughput_rps() > 0.0
+                             ? batched.rep.throughput_rps() /
+                                   unbatched.rep.throughput_rps()
+                             : 0.0;
+  if (!h.csv)
+    std::cout << "batched vs unbatched throughput: " << fmt_double(speedup, 2)
+              << "x\n";
+  if (!json_path.empty())
+    write_artifact(json_path, lg, threads, batched, unbatched, speedup);
+  return 0;
+}

@@ -81,6 +81,13 @@ KNOWN_NAMES = {
     # SIMT cost-model kernels (simt)
     "simt.direct", "simt.staged", "simt.sort", "simt.tile",
     "simt.blocksort", "simt.round",
+    # serving layer (serve): serve.batch wraps each dispatched batch;
+    # serve.reject / serve.shed / serve.merge_fallback are instants;
+    # serve.request / serve.queue_wait / serve.service are
+    # record_span_duration percentile names surfaced via --metrics-json
+    # span_stats (listed here so the taxonomy stays one set).
+    "serve.batch", "serve.request", "serve.queue_wait", "serve.service",
+    "serve.reject", "serve.shed", "serve.merge_fallback",
 }
 
 

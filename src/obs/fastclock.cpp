@@ -13,6 +13,11 @@ namespace {
 ClockMode g_mode = ClockMode::kAuto;
 bool g_env_read = false;
 
+/// The re-calibration interval (0 = disabled) and how many re-calibrations
+/// have been published. Written by the single maintenance caller.
+std::atomic<std::uint64_t> g_recal_interval_ns{0};
+std::atomic<std::uint64_t> g_recalibrations{0};
+
 ClockMode mode_from_env() {
   const char* env = std::getenv("MP_FASTCLOCK");
   if (!env) return ClockMode::kAuto;
@@ -29,34 +34,75 @@ ClockMode effective_mode() {
   return g_mode;
 }
 
+/// The slot not currently published — the one a writer may fill.
+detail::ClockState* spare_slot() {
+  const detail::ClockState* active =
+      detail::g_active_clock.load(std::memory_order_relaxed);
+  return active == &detail::g_clock_slots[0] ? &detail::g_clock_slots[1]
+                                             : &detail::g_clock_slots[0];
+}
+
+/// Fills `slot` (relaxed stores) and publishes it (release store): a
+/// reader that acquires the pointer sees every field of the calibration.
+void publish(detail::ClockState* slot, bool using_tsc, double ns_per_tick,
+             std::uint64_t tsc_epoch, std::uint64_t steady_epoch_ns) {
+  slot->using_tsc.store(using_tsc, std::memory_order_relaxed);
+  slot->ns_per_tick.store(ns_per_tick, std::memory_order_relaxed);
+  slot->tsc_epoch.store(tsc_epoch, std::memory_order_relaxed);
+  slot->steady_epoch_ns.store(steady_epoch_ns, std::memory_order_relaxed);
+  detail::g_active_clock.store(slot, std::memory_order_release);
+}
+
+/// One (steady_ns, tsc) sample taken "at the same instant": the tsc read
+/// is bracketed by two steady reads. A wide bracket means the thread was
+/// preempted mid-pair — over a 1 ms calibration window a tens-of-ms
+/// scheduler slice inflates the measured rate ~50x — so retry and keep
+/// the tightest bracket seen.
+struct ClockPair {
+  std::uint64_t ns;
+  std::uint64_t tsc;
+};
+
+ClockPair sample_clock_pair() {
+  ClockPair best{0, 0};
+  std::uint64_t best_gap = ~std::uint64_t{0};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const std::uint64_t lo = detail::steady_now_ns();
+    const std::uint64_t tsc = detail::read_tsc();
+    const std::uint64_t hi = detail::steady_now_ns();
+    const std::uint64_t gap = hi - lo;
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = ClockPair{lo + gap / 2, tsc};
+    }
+    if (best_gap < 5'000) break;  // 5 us: no preemption inside the pair
+  }
+  return best;
+}
+
 /// Measures ns-per-tick against steady_clock over a short spin. ~1 ms is
 /// enough for <0.1% rate error, far below the span durations we care
 /// about, and runs once per process (or per set_mode call).
-void calibrate_tsc(detail::ClockState& state) {
+void calibrate_tsc(detail::ClockState* slot) {
   constexpr std::uint64_t kSpinNs = 1'000'000;  // 1 ms
-  const std::uint64_t t0_ns = detail::steady_now_ns();
-  const std::uint64_t t0_tsc = detail::read_tsc();
-  std::uint64_t t1_ns = t0_ns;
-  std::uint64_t t1_tsc = t0_tsc;
-  while (t1_ns - t0_ns < kSpinNs) {
-    t1_tsc = detail::read_tsc();
-    t1_ns = detail::steady_now_ns();
+  const ClockPair t0 = sample_clock_pair();
+  while (detail::steady_now_ns() - t0.ns < kSpinNs) {
   }
-  if (t1_tsc <= t0_tsc) {
+  const ClockPair t1 = sample_clock_pair();
+  if (t1.tsc <= t0.tsc) {
     // TSC not advancing (emulated host?) — fall back.
-    state = detail::ClockState{};
+    publish(slot, false, 0.0, 0, t1.ns);
     return;
   }
-  state.using_tsc = true;
-  state.ns_per_tick = static_cast<double>(t1_ns - t0_ns) /
-                      static_cast<double>(t1_tsc - t0_tsc);
   // Re-anchor the epoch at the end of the spin so conversion error does not
   // include the calibration window itself.
-  state.tsc_epoch = t1_tsc;
-  state.steady_epoch_ns = t1_ns;
+  publish(slot, true,
+          static_cast<double>(t1.ns - t0.ns) /
+              static_cast<double>(t1.tsc - t0.tsc),
+          t1.tsc, t1.ns);
 }
 
-void calibrate(detail::ClockState& state) {
+void calibrate(detail::ClockState* slot) {
   const ClockMode mode = effective_mode();
   bool want_tsc = false;
   switch (mode) {
@@ -67,11 +113,10 @@ void calibrate(detail::ClockState& state) {
       break;
   }
   if (!want_tsc) {
-    state = detail::ClockState{};
-    state.steady_epoch_ns = detail::steady_now_ns();
+    publish(slot, false, 0.0, 0, detail::steady_now_ns());
     return;
   }
-  calibrate_tsc(state);
+  calibrate_tsc(slot);
 }
 
 }  // namespace
@@ -86,8 +131,18 @@ std::uint64_t steady_now_ns() {
 }
 
 bool init_fast_clock() {
-  calibrate(g_clock_state);
+  calibrate(spare_slot());
   return true;
+}
+
+void inject_clock_drift(double factor) {
+  const ClockState* active = g_active_clock.load(std::memory_order_acquire);
+  if (!active->using_tsc.load(std::memory_order_relaxed)) return;
+  ClockState* slot = spare_slot();
+  publish(slot, true,
+          active->ns_per_tick.load(std::memory_order_relaxed) * factor,
+          active->tsc_epoch.load(std::memory_order_relaxed),
+          active->steady_epoch_ns.load(std::memory_order_relaxed));
 }
 
 }  // namespace detail
@@ -96,24 +151,67 @@ void FastClock::set_mode(ClockMode mode) {
   (void)now_ns();  // make sure first-use init has run (and stays run)
   g_env_read = true;
   g_mode = mode;
-  calibrate(detail::g_clock_state);
+  calibrate(spare_slot());
 }
 
 ClockMode FastClock::mode() { return effective_mode(); }
 
 ClockCalibration FastClock::calibration() {
   (void)now_ns();
-  const detail::ClockState& state = detail::g_clock_state;
+  const detail::ClockState* state =
+      detail::g_active_clock.load(std::memory_order_acquire);
   ClockCalibration cal;
-  cal.using_tsc = state.using_tsc;
-  cal.ns_per_tick = state.ns_per_tick;
-  cal.tsc_epoch = state.tsc_epoch;
-  cal.steady_epoch_ns = state.steady_epoch_ns;
+  cal.using_tsc = state->using_tsc.load(std::memory_order_relaxed);
+  cal.ns_per_tick = state->ns_per_tick.load(std::memory_order_relaxed);
+  cal.tsc_epoch = state->tsc_epoch.load(std::memory_order_relaxed);
+  cal.steady_epoch_ns =
+      state->steady_epoch_ns.load(std::memory_order_relaxed);
   return cal;
 }
 
 std::string FastClock::source_name() {
   return calibration().using_tsc ? "tsc" : "steady";
+}
+
+void FastClock::recalibrate_every(std::uint64_t interval_ns) {
+  g_recal_interval_ns.store(interval_ns, std::memory_order_relaxed);
+}
+
+std::uint64_t FastClock::recalibrate_interval() {
+  return g_recal_interval_ns.load(std::memory_order_relaxed);
+}
+
+bool FastClock::maybe_recalibrate() {
+  const std::uint64_t interval =
+      g_recal_interval_ns.load(std::memory_order_relaxed);
+  if (interval == 0) return false;
+  (void)now_ns();  // first-use init
+  const detail::ClockState* active =
+      detail::g_active_clock.load(std::memory_order_acquire);
+  if (!active->using_tsc.load(std::memory_order_relaxed)) return false;
+  const std::uint64_t anchor_ns =
+      active->steady_epoch_ns.load(std::memory_order_relaxed);
+  const std::uint64_t now_steady = detail::steady_now_ns();
+  if (now_steady - anchor_ns < interval) return false;
+
+  // Re-derive the rate over the whole window since the last anchor — at
+  // least one interval, so a 1 s interval measures over a window 1000x the
+  // initial 1 ms spin — and re-anchor the epoch at "now" so any residual
+  // drift accumulated under the old rate is zeroed, not extrapolated.
+  const std::uint64_t anchor_tsc =
+      active->tsc_epoch.load(std::memory_order_relaxed);
+  const ClockPair now = sample_clock_pair();
+  if (now.tsc <= anchor_tsc) return false;  // TSC stopped: keep old state
+  publish(spare_slot(), true,
+          static_cast<double>(now.ns - anchor_ns) /
+              static_cast<double>(now.tsc - anchor_tsc),
+          now.tsc, now.ns);
+  g_recalibrations.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::uint64_t FastClock::recalibrations() {
+  return g_recalibrations.load(std::memory_order_relaxed);
 }
 
 }  // namespace mp::obs

@@ -25,9 +25,25 @@
 /// control-plane operation: like arm_tracing(), call it only while no
 /// instrumented work is in flight.
 ///
+/// Long-running servers: the one-shot calibration measures ns-per-tick
+/// over a ~1 ms window, so its rate error (≤0.1%) accumulates against
+/// steady_clock — about a millisecond of drift per matching second of
+/// uptime, which a day-long serving process would notice in its latency
+/// percentiles. recalibrate_every() arms periodic re-calibration:
+/// maybe_recalibrate(), called from a single maintenance point (the serve
+/// dispatcher calls it between batches), re-measures the rate over the
+/// whole elapsed window (longer window = lower rate error) and re-anchors
+/// the epoch at "now". Unlike set_mode(), maybe_recalibrate() is safe to
+/// run while *other* threads are timestamping: the calibration lives in
+/// atomic fields behind an atomically published slot pointer, so readers
+/// always see a complete calibration. Only one thread may be the
+/// maintenance caller at a time (concurrent maybe_recalibrate/set_mode
+/// calls race on the spare slot).
+///
 /// This file is NOT gated on MP_TRACE — it is just a clock, and the control
 /// plane (export metadata, tests) uses it even in no-trace builds.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -50,19 +66,27 @@ struct ClockCalibration {
 
 namespace detail {
 
-/// Calibration state, published once by init (or re-published by
-/// set_mode(), under the control-plane quiescence contract).
+/// One published calibration. Fields are individually atomic (relaxed
+/// plain-mov loads on x86) so a stale reader that dereferences a slot
+/// while the maintenance thread rewrites it sees defined values — the slot
+/// *pointer* publication (release/acquire) is what guarantees a coherent
+/// set under normal operation.
 struct ClockState {
-  bool using_tsc = false;
-  double ns_per_tick = 0.0;
-  std::uint64_t tsc_epoch = 0;
-  std::uint64_t steady_epoch_ns = 0;
+  std::atomic<bool> using_tsc{false};
+  std::atomic<double> ns_per_tick{0.0};
+  std::atomic<std::uint64_t> tsc_epoch{0};
+  std::atomic<std::uint64_t> steady_epoch_ns{0};
 };
 
-inline ClockState g_clock_state{};
+/// Double-buffered calibration slots + the active-slot pointer. Writers
+/// (init, set_mode, maybe_recalibrate — control-plane/maintenance, one at
+/// a time) fill the spare slot and publish it with a release store; the
+/// hot path takes one acquire load.
+inline ClockState g_clock_slots[2]{};
+inline std::atomic<const ClockState*> g_active_clock{&g_clock_slots[0]};
 
-/// Calibrates per the requested mode and fills g_clock_state. Returns true
-/// (the value anchors the function-local static in now_ns()).
+/// Calibrates per the requested mode into the spare slot and publishes it.
+/// Returns true (the value anchors the function-local static in now_ns()).
 bool init_fast_clock();
 
 std::uint64_t steady_now_ns();
@@ -75,6 +99,12 @@ inline std::uint64_t read_tsc() { return 0; }
 inline constexpr bool kHasTsc = false;
 #endif
 
+/// TEST-ONLY: multiplies the active ns-per-tick by `factor` (keeping the
+/// epoch anchors), simulating a mis-calibrated rate whose error grows
+/// linearly with elapsed time — the drift model the re-calibration tests
+/// inject. No-op when the active calibration is not TSC-based.
+void inject_clock_drift(double factor);
+
 }  // namespace detail
 
 struct FastClock {
@@ -82,12 +112,16 @@ struct FastClock {
   static std::uint64_t now_ns() {
     static const bool ready = detail::init_fast_clock();
     (void)ready;
-    const detail::ClockState& state = detail::g_clock_state;
-    if (state.using_tsc) {
-      const std::uint64_t ticks = detail::read_tsc() - state.tsc_epoch;
-      return state.steady_epoch_ns +
-             static_cast<std::uint64_t>(static_cast<double>(ticks) *
-                                        state.ns_per_tick);
+    const detail::ClockState* state =
+        detail::g_active_clock.load(std::memory_order_acquire);
+    if (state->using_tsc.load(std::memory_order_relaxed)) {
+      const std::uint64_t ticks =
+          detail::read_tsc() -
+          state->tsc_epoch.load(std::memory_order_relaxed);
+      return state->steady_epoch_ns.load(std::memory_order_relaxed) +
+             static_cast<std::uint64_t>(
+                 static_cast<double>(ticks) *
+                 state->ns_per_tick.load(std::memory_order_relaxed));
     }
     return detail::steady_now_ns();
   }
@@ -105,6 +139,23 @@ struct FastClock {
 
   /// "tsc" or "steady" — the active source, for banners and metadata.
   static std::string source_name();
+
+  /// Arms periodic re-calibration: once the active TSC calibration is
+  /// older than `interval_ns`, the next maybe_recalibrate() call re-derives
+  /// ns-per-tick against steady_clock over the whole elapsed window and
+  /// re-anchors the epoch. 0 (the default) disables. Long-running servers
+  /// arm this so the TSC timeline cannot drift away from steady_clock.
+  static void recalibrate_every(std::uint64_t interval_ns);
+  static std::uint64_t recalibrate_interval();
+
+  /// Re-calibrates if armed, TSC-based, and the interval has elapsed.
+  /// Returns true when a re-calibration was published. Safe with
+  /// concurrent now_ns() readers; only one maintenance thread may call it
+  /// (the serve dispatcher between batches, or a test).
+  static bool maybe_recalibrate();
+
+  /// Re-calibrations published since process start (for tests/banners).
+  static std::uint64_t recalibrations();
 };
 
 }  // namespace mp::obs

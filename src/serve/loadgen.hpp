@@ -1,0 +1,86 @@
+#pragma once
+/// \file loadgen.hpp
+/// Deterministic closed-loop load generator for the serving layer.
+///
+/// Closed-loop means every simulated session keeps a bounded window of
+/// requests in flight and submits the next one only when a response comes
+/// back — the arrival process adapts to the server, which is how real
+/// request-per-connection clients behave and what makes throughput /
+/// tail-latency numbers comparable across configurations (open-loop
+/// arrival is available in bench_serve by raising the window far above
+/// the queue capacity).
+///
+/// Determinism: the generator is seeded (Xoshiro256) and every payload,
+/// size and kind decision is a pure function of (seed, request index).
+/// Driving a manual_pump server makes the whole run single-threaded and
+/// exactly replayable — the mode the deterministic serving test and the
+/// replay property sweeps use. Driving a dispatcher-threaded server keeps
+/// the same submission sequence; only timing varies.
+///
+/// Verification is built in rather than bolted on: the generator records
+/// an expectation (element count + wraparound sum) per request before
+/// submitting and checks every response against it (sorted, conserved
+/// payload), asserts per-session FIFO delivery, and closes the
+/// conservation law submitted == accepted + rejected,
+/// accepted == completed + cancelled + failed.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/serve.hpp"
+
+namespace mp::serve {
+
+/// The request-size / request-kind mix.
+struct LoadMix {
+  std::size_t min_elements = std::size_t{4} << 10;
+  std::size_t max_elements = std::size_t{64} << 10;
+  /// 0 = uniform sizes; > 0 biases toward small requests (u^(1+skew)
+  /// scaling), the regime where cross-request batching pays.
+  double size_skew = 1.0;
+  double merge_fraction = 0.0;    ///< probability a request is a kMerge
+  double width64_fraction = 0.0;  ///< probability of 64-bit keys
+};
+
+struct LoadGenConfig {
+  std::uint64_t seed = 1;
+  std::size_t sessions = 4;
+  std::size_t requests = 1024;  ///< total submissions across all sessions
+  std::size_t window = 1;       ///< per-session in-flight cap
+  LoadMix mix;
+  bool verify = true;  ///< check payload conservation per response
+};
+
+/// Everything a run produced. latencies_ns holds one entry per completed
+/// response (queue wait + service), unsorted.
+struct LoadGenReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t degraded = 0;  ///< responses flagged degraded
+  std::uint64_t batched = 0;   ///< responses served from a coalesced batch
+  std::uint64_t elements = 0;  ///< payload elements across submissions
+  double wall_s = 0.0;
+  std::vector<std::uint64_t> latencies_ns;
+  bool conservation_ok = false;
+  bool ordering_ok = false;
+  bool payload_ok = false;
+
+  bool ok() const { return conservation_ok && ordering_ok && payload_ok; }
+  /// Exact quantile over latencies_ns (q in [0,1]); 0 when empty.
+  std::uint64_t latency_ns(double q) const;
+  double throughput_rps() const;       ///< completed responses per second
+  double throughput_elems_s() const;   ///< payload elements per second
+};
+
+/// Runs the closed loop against `server` until cfg.requests have been
+/// submitted and every accepted one has been answered. Works with both
+/// manual_pump servers (deterministic, this thread pumps) and
+/// dispatcher-threaded servers (waits on completions).
+LoadGenReport run_closed_loop(Server& server, const LoadGenConfig& cfg);
+
+}  // namespace mp::serve

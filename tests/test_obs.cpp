@@ -331,6 +331,58 @@ TEST_F(ObsTest, FastClockTracksSteadyClockAcrossModes) {
   EXPECT_GE(after + kSlackNs, mid);
 }
 
+TEST_F(ObsTest, FastClockRecalibrationDisabledOrBeforeIntervalIsInert) {
+  obs::FastClock::recalibrate_every(0);
+  EXPECT_EQ(obs::FastClock::recalibrate_interval(), 0u);
+  EXPECT_FALSE(obs::FastClock::maybe_recalibrate());  // disabled
+  // Armed with an enormous interval: the window cannot have elapsed.
+  obs::FastClock::recalibrate_every(std::uint64_t{1} << 62);
+  EXPECT_FALSE(obs::FastClock::maybe_recalibrate());
+  obs::FastClock::recalibrate_every(0);
+}
+
+TEST_F(ObsTest, FastClockRecalibrationHealsInjectedDrift) {
+  obs::FastClock::set_mode(obs::ClockMode::kTsc);
+  if (!obs::FastClock::calibration().using_tsc) {
+    obs::FastClock::set_mode(obs::ClockMode::kAuto);
+    GTEST_SKIP() << "host has no TSC; drift model does not apply";
+  }
+
+  // Corrupt the published rate by 50%: conversion error now grows by
+  // ~0.5 ms per elapsed ms — the linear-drift model of a mis-calibrated
+  // long-running server (compressed from hours to milliseconds).
+  obs::detail::inject_clock_drift(1.5);
+  constexpr std::uint64_t kWindowNs = 2'000'000;  // 2 ms
+  const std::uint64_t spin_until = obs::detail::steady_now_ns() + kWindowNs;
+  while (obs::detail::steady_now_ns() < spin_until) {
+  }
+  const auto drift_of = [] {
+    const std::uint64_t fast = obs::FastClock::now_ns();
+    const std::uint64_t steady = obs::detail::steady_now_ns();
+    return fast > steady ? fast - steady : steady - fast;
+  };
+  // ~2 ms at 1.5x rate puts the fast clock ~1 ms ahead of steady_clock.
+  const std::uint64_t drifted = drift_of();
+  EXPECT_GT(drifted, kWindowNs / 4);
+
+  // One maintenance call (interval already elapsed) re-derives the rate
+  // over the window and re-anchors the epoch at "now".
+  obs::FastClock::recalibrate_every(kWindowNs / 2);
+  const std::uint64_t recals_before = obs::FastClock::recalibrations();
+  EXPECT_TRUE(obs::FastClock::maybe_recalibrate());
+  EXPECT_EQ(obs::FastClock::recalibrations(), recals_before + 1);
+  const std::uint64_t healed = drift_of();
+  EXPECT_LT(healed, drifted / 4);
+  EXPECT_LT(healed, 1'000'000u);  // back within 1 ms of steady_clock
+
+  // Readers racing the re-publication stay on a sane timeline (coarse
+  // monotonicity check across the swap).
+  EXPECT_FALSE(obs::FastClock::maybe_recalibrate());  // window not elapsed
+
+  obs::FastClock::recalibrate_every(0);
+  obs::FastClock::set_mode(obs::ClockMode::kAuto);
+}
+
 // ---------------------------------------------------------------------------
 // Online span-duration percentiles.
 
