@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Runs the E18 pipeline bench and emits BENCH_9.json.
+
+Usage:
+    bench_pipeline.py [--bench PATH] [--out BENCH_9.json] [--full]
+                      [extra bench flags...]
+    bench_pipeline.py --check [BENCH_9.json]
+
+The run mode drives `bench_pipeline --json <out>` (the harness itself
+writes the artifact after verifying every mode's output against
+std::sort) and echoes the summary lines. The artifact records three runs
+of the identical checkpointed sharded external sort — serial I/O,
+double-buffered, and double-buffered without intermediate checkpoints —
+plus the two derived headline numbers:
+
+    overlap_speedup          serial wall / overlapped wall
+    checkpoint_overhead_pct  (overlapped - no-checkpoint) / no-checkpoint
+
+--check validates the schema instead of running anything: all three modes
+must be present with positive wall times, the block read/write counts of
+serial and overlapped must be identical (double-buffering may not change
+WHAT is transferred, only WHEN), the no-checkpoint run must write fewer
+blocks and record exactly 1 checkpoint (the final completion manifest),
+and the derived numbers must be consistent with the per-mode wall times.
+Exit 0 on success, 1 with a diagnostic.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+SCHEMA = "mergepath-bench-pipeline-v1"
+MODES = ["serial", "overlapped", "no-checkpoint"]
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BENCH = os.path.join(REPO_ROOT, "build", "bench", "bench_pipeline")
+DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_9.json")
+
+
+def fail(message):
+    print(f"bench_pipeline: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_bench(bench_path, out_path, extra):
+    if not os.path.exists(bench_path):
+        fail(f"bench binary not found at {bench_path} (build first, or pass --bench)")
+    cmd = [bench_path, "--json", out_path] + extra
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
+    sys.stdout.write(proc.stdout)
+
+
+def check(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"{path}: {err}")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    for key in ("host", "n", "shards", "memory_elems", "block_bytes"):
+        if not doc.get(key):
+            fail(f"{path}: missing {key}")
+    if not (isinstance(doc.get("realize_scale"), (int, float))
+            and doc["realize_scale"] > 0):
+        fail(f"{path}: realize_scale must be > 0 (else overlap is unmeasurable)")
+
+    modes = {m.get("mode"): m for m in doc.get("modes", [])}
+    if sorted(modes) != sorted(MODES):
+        fail(f"{path}: modes must be exactly {MODES}, got {sorted(modes)}")
+    for name, row in modes.items():
+        for key in ("wall_ms", "modeled_io_us", "block_reads", "block_writes",
+                    "steps", "runs_formed", "segments_merged",
+                    "ranks_exchanged"):
+            value = row.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                fail(f"{path}: modes.{name}.{key} must be > 0, got {value!r}")
+
+    serial, overlapped, nockpt = (modes[m] for m in MODES)
+    # Double-buffering changes WHEN blocks move, never WHAT moves.
+    for key in ("block_reads", "block_writes", "steps", "checkpoints",
+                "runs_formed", "segments_merged", "ranks_exchanged"):
+        if serial[key] != overlapped[key]:
+            fail(f"{path}: serial vs overlapped disagree on {key} "
+                 f"({serial[key]} vs {overlapped[key]})")
+    # checkpoints=false still writes the final completion manifest.
+    if nockpt.get("checkpoints") != 1:
+        fail(f"{path}: no-checkpoint run must record exactly 1 checkpoint, "
+             f"got {nockpt.get('checkpoints')!r}")
+    if overlapped["checkpoints"] <= 1:
+        fail(f"{path}: checkpointed runs recorded no intermediate checkpoints")
+    if nockpt["block_writes"] >= overlapped["block_writes"]:
+        fail(f"{path}: no-checkpoint run must write fewer blocks "
+             f"({nockpt['block_writes']} vs {overlapped['block_writes']})")
+
+    speedup = doc.get("overlap_speedup")
+    overhead = doc.get("checkpoint_overhead_pct")
+    if not isinstance(speedup, (int, float)) or speedup <= 0:
+        fail(f"{path}: overlap_speedup must be > 0, got {speedup!r}")
+    if not isinstance(overhead, (int, float)):
+        fail(f"{path}: checkpoint_overhead_pct missing")
+    want = serial["wall_ms"] / overlapped["wall_ms"]
+    if abs(speedup - want) > 0.02 * want:
+        fail(f"{path}: overlap_speedup {speedup} inconsistent with wall "
+             f"times (want {want:.4f})")
+    if speedup < 0.8:
+        fail(f"{path}: double-buffering lost >20% vs serial — the overlap "
+             "machinery is costing more than it hides")
+    print(f"{path}: ok (overlap {speedup:.2f}x, checkpoint overhead "
+          f"{overhead:.1f}%)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default=DEFAULT_BENCH,
+                        help="path to the bench_pipeline binary")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="where to write the artifact")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale sizes (slower)")
+    parser.add_argument("--check", nargs="?", const=DEFAULT_OUT, default=None,
+                        metavar="BENCH_9.json",
+                        help="validate an existing artifact instead of running")
+    args, extra = parser.parse_known_args()
+
+    if args.check is not None:
+        check(args.check)
+        return
+
+    if args.full:
+        extra = ["--full"] + extra
+    run_bench(args.bench, args.out, extra)
+    check(args.out)
+
+
+if __name__ == "__main__":
+    main()

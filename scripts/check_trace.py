@@ -88,6 +88,17 @@ KNOWN_NAMES = {
     # span_stats (listed here so the taxonomy stays one set).
     "serve.batch", "serve.request", "serve.queue_wait", "serve.service",
     "serve.reject", "serve.shed", "serve.merge_fallback",
+    # crash-consistent pipeline (pipeline): pipe.sort wraps the whole
+    # drive; pipe.form / pipe.segment / pipe.exchange / pipe.select /
+    # pipe.checkpoint / pipe.io are phase and unit spans; pipe.crash /
+    # pipe.resume / pipe.retry are instants; pipe.runs_formed /
+    # pipe.segments_merged / pipe.ranks_exchanged / pipe.checkpoints /
+    # pipe.crashes / pipe.resumes are counters.
+    "pipe.sort", "pipe.form", "pipe.segment", "pipe.exchange",
+    "pipe.select", "pipe.checkpoint", "pipe.io",
+    "pipe.crash", "pipe.resume", "pipe.retry",
+    "pipe.runs_formed", "pipe.segments_merged", "pipe.ranks_exchanged",
+    "pipe.checkpoints", "pipe.crashes", "pipe.resumes",
 }
 
 

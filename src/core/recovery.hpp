@@ -148,8 +148,17 @@ inline RecoveryReport run_lanes_with_recovery(
     if (backoff_us > 0.0) {
       // Pay the configured backoff before re-submitting, doubling per
       // retry like the extmem layer — except this one is real time.
+      // Jitter (when configured and a plan is attached) is drawn from the
+      // plan's independent jitter stream, so concurrent recoveries armed
+      // with the same schedule don't re-submit in lockstep and the
+      // decision stream / schedule_hash stay untouched.
+      double wait = backoff_us;
+      if (cfg.retry.jitter > 0.0) {
+        if (fault::FaultPlan* plan = pool.fault_plan())
+          wait *= 1.0 - cfg.retry.jitter * plan->jitter01();
+      }
       std::this_thread::sleep_for(
-          std::chrono::duration<double, std::micro>(backoff_us));
+          std::chrono::duration<double, std::micro>(wait));
       backoff_us *= 2.0;
     }
     // Re-submit only the failed lanes' disjoint segments as one smaller

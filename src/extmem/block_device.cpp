@@ -1,7 +1,12 @@
 #include "extmem/block_device.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <istream>
+#include <ostream>
+#include <thread>
+#include <type_traits>
 
 namespace mp::extmem {
 
@@ -111,6 +116,7 @@ IoStatus BlockDevice::try_write_block(std::uint64_t block, const void* data,
   std::memcpy(slot.data(), data, bytes);
   ++stats_.block_writes;
   note_access(block);
+  realize_transfer();
   return IoStatus::kOk;
 }
 
@@ -137,7 +143,17 @@ IoStatus BlockDevice::try_read_block(std::uint64_t block, void* data,
   std::memcpy(data, slot.data(), bytes);
   ++stats_.block_reads;
   note_access(block);
+  realize_transfer();
   return IoStatus::kOk;
+}
+
+void BlockDevice::realize_transfer() const {
+  if (config_.realize_scale <= 0.0) return;
+  const double block_us =
+      config_.seek_us + static_cast<double>(config_.block_bytes) /
+                            config_.bandwidth_bytes_per_us;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+      block_us * config_.realize_scale));
 }
 
 void BlockDevice::release_blocks(std::uint64_t first, std::uint64_t count) {
@@ -156,6 +172,110 @@ double BlockDevice::modeled_io_us() const {
   return static_cast<double>(stats_.seeks) * config_.seek_us +
          static_cast<double>(bytes_moved_) / config_.bandwidth_bytes_per_us +
          fault_latency_us_;
+}
+
+namespace {
+
+// Device-image serialization. Everything funnels through one running
+// FNV-1a checksum so a truncated or bit-flipped image is rejected as a
+// whole rather than deserialized into a plausible-but-wrong device.
+constexpr std::uint64_t kImageMagic = 0x4d504445564947ull;  // "MPDEVIG"
+constexpr std::uint32_t kImageVersion = 1;
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void fnv_mix(std::uint64_t& h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) h = (h ^ p[i]) * kFnvPrime;
+}
+
+void put_raw(std::ostream& out, std::uint64_t& h, const void* data,
+             std::size_t bytes) {
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(bytes));
+  fnv_mix(h, data, bytes);
+}
+
+template <typename V>
+void put(std::ostream& out, std::uint64_t& h, V value) {
+  static_assert(std::is_trivially_copyable_v<V>);
+  put_raw(out, h, &value, sizeof(value));
+}
+
+void get_raw(std::istream& in, std::uint64_t& h, void* data,
+             std::size_t bytes) {
+  in.read(static_cast<char*>(data), static_cast<std::streamsize>(bytes));
+  if (!in)
+    throw IoError(IoStatus::kMediaError, 0, "device image truncated");
+  fnv_mix(h, data, bytes);
+}
+
+template <typename V>
+V get(std::istream& in, std::uint64_t& h) {
+  static_assert(std::is_trivially_copyable_v<V>);
+  V value;
+  get_raw(in, h, &value, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+void BlockDevice::save_image(std::ostream& out,
+                             std::uint64_t user_word) const {
+  std::uint64_t h = kFnvOffset;
+  put(out, h, kImageMagic);
+  put(out, h, kImageVersion);
+  put(out, h, config_.block_bytes);
+  put(out, h, config_.seek_us);
+  put(out, h, config_.bandwidth_bytes_per_us);
+  put(out, h, config_.max_blocks);
+  put(out, h, config_.realize_scale);
+  put(out, h, user_word);
+  put(out, h, static_cast<std::uint64_t>(store_.size()));
+  for (const auto& slot : store_) {
+    const std::uint8_t written = slot.empty() ? 0 : 1;
+    put(out, h, written);
+    if (written) put_raw(out, h, slot.data(), slot.size());
+  }
+  // The checksum itself is excluded from the hash, naturally.
+  out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+  if (!out)
+    throw IoError(IoStatus::kMediaError, 0, "device image write failed");
+}
+
+BlockDevice BlockDevice::load_image(std::istream& in,
+                                    std::uint64_t* user_word) {
+  std::uint64_t h = kFnvOffset;
+  if (get<std::uint64_t>(in, h) != kImageMagic)
+    throw IoError(IoStatus::kMediaError, 0, "device image: bad magic");
+  if (get<std::uint32_t>(in, h) != kImageVersion)
+    throw IoError(IoStatus::kMediaError, 0,
+                  "device image: unsupported version");
+  DeviceConfig config;
+  config.block_bytes = get<std::uint32_t>(in, h);
+  config.seek_us = get<double>(in, h);
+  config.bandwidth_bytes_per_us = get<double>(in, h);
+  config.max_blocks = get<std::uint64_t>(in, h);
+  config.realize_scale = get<double>(in, h);
+  const std::uint64_t user = get<std::uint64_t>(in, h);
+  const std::uint64_t blocks = get<std::uint64_t>(in, h);
+  if (config.block_bytes == 0 ||
+      (config.max_blocks != 0 && blocks > config.max_blocks))
+    throw IoError(IoStatus::kMediaError, 0, "device image: bad geometry");
+  BlockDevice device(config);
+  device.store_.resize(blocks);
+  for (auto& slot : device.store_) {
+    if (get<std::uint8_t>(in, h) == 0) continue;
+    slot.resize(config.block_bytes);
+    get_raw(in, h, slot.data(), slot.size());
+    ++device.live_blocks_;
+  }
+  std::uint64_t stored = 0;
+  in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+  if (!in || stored != h)
+    throw IoError(IoStatus::kMediaError, 0, "device image: checksum mismatch");
+  if (user_word != nullptr) *user_word = user;
+  return device;
 }
 
 }  // namespace mp::extmem

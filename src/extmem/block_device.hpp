@@ -22,6 +22,7 @@
 /// faults surface as the typed IoError, never as an abort.
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,13 @@ struct DeviceConfig {
   /// Capacity in blocks; 0 = unbounded. Allocations past the cap fail with
   /// IoError(kNoSpace) — the honest way to test ENOSPC recovery paths.
   std::uint64_t max_blocks = 0;
+  /// When > 0, every successful transfer also *sleeps* for
+  /// realize_scale × its modeled cost. Modeled time is a pure sum and so
+  /// cannot show overlap; realized time can — the pipeline's
+  /// double-buffering bench (E18) runs reads on an I/O thread and measures
+  /// the wall-clock win. 0 (the default) keeps every other experiment
+  /// instantaneous.
+  double realize_scale = 0.0;
 };
 
 struct DeviceStats {
@@ -125,6 +133,22 @@ class BlockDevice {
   /// Blocks currently holding data (written and not released).
   std::uint64_t live_blocks() const { return live_blocks_; }
 
+  /// Whether `block` currently holds data. The pipeline's manifest loader
+  /// uses this to probe checkpoint slots without tripping the
+  /// read-of-never-written MP_CHECK.
+  bool is_written(std::uint64_t block) const {
+    return block < store_.size() && !store_[block].empty();
+  }
+
+  /// Serializes the device (config + every written block + one caller
+  /// word, checksummed) so a tool process can "crash" — exit — and a later
+  /// process can resume against the same storage state. Not a performance
+  /// path: the image is a crash-drill artifact. load_image throws
+  /// IoError(kMediaError) on a truncated or corrupt image; stats and any
+  /// attached fault plan are per-incarnation and start fresh.
+  void save_image(std::ostream& out, std::uint64_t user_word) const;
+  static BlockDevice load_image(std::istream& in, std::uint64_t* user_word);
+
   /// Adds modeled time (used for injected latency and retry backoff).
   void charge_latency(double us) { fault_latency_us_ += us; }
 
@@ -146,6 +170,8 @@ class BlockDevice {
   double fault_latency_us_ = 0.0;
 
   void note_access(std::uint64_t block);
+  /// Sleeps for realize_scale × one block's modeled cost (no-op at 0).
+  void realize_transfer() const;
   /// Consults the plan for this attempt; returns the injected fault (or
   /// kNone) after accounting for it. Compiled out under MP_FAULT=0.
   fault::FaultKind inject(fault::OpClass op);

@@ -32,6 +32,8 @@ namespace mp::extmem {
 struct RunHandle {
   std::uint64_t first_block = 0;
   std::uint64_t element_count = 0;
+
+  friend bool operator==(const RunHandle&, const RunHandle&) = default;
 };
 
 namespace detail {
@@ -39,7 +41,10 @@ namespace detail {
 /// Shared retry loop: attempts `op()` (returning IoStatus) up to
 /// max_attempts times, charging doubled modeled backoff between tries.
 /// Returns the number of retries performed; throws IoError on a permanent
-/// status or when attempts run out.
+/// status or when attempts run out. With retry.jitter > 0 and a fault plan
+/// attached, each backoff is scaled by a seeded draw from
+/// [1 - jitter, 1] (the plan's jitter stream, independent of its decision
+/// stream) so lanes that fault in lockstep de-synchronize their retries.
 template <typename Op>
 std::uint64_t retry_io(BlockDevice& device, const fault::RetryPolicy& retry,
                        std::uint64_t block, const char* what, Op op) {
@@ -60,7 +65,12 @@ std::uint64_t retry_io(BlockDevice& device, const fault::RetryPolicy& retry,
                              : ""));
     }
     obs::Span::instant("xsort.retry", "block", block);
-    device.charge_latency(backoff);
+    double wait = backoff;
+    if (retry.jitter > 0.0) {
+      if (fault::FaultPlan* plan = device.fault_plan())
+        wait *= 1.0 - retry.jitter * plan->jitter01();
+    }
+    device.charge_latency(wait);
     backoff *= 2.0;
   }
 }
@@ -156,6 +166,18 @@ class RunReader {
             fault::RetryPolicy retry = {})
       : device_(&device), handle_(handle), retry_(retry) {
     buffer_.resize(elems_per_block());
+  }
+
+  /// Windowed reader over elements [offset, offset + count) of the run.
+  /// The pipeline's resume path and co-rank fragment fetches start
+  /// mid-run; the first refill lands mid-block and the cursor picks up
+  /// from there.
+  RunReader(BlockDevice& device, RunHandle handle, std::uint64_t offset,
+            std::uint64_t count, fault::RetryPolicy retry = {})
+      : RunReader(device, handle, retry) {
+    MP_ASSERT(offset + count <= handle.element_count);
+    consumed_ = offset;
+    handle_.element_count = offset + count;
   }
 
   std::size_t elems_per_block() const {

@@ -17,13 +17,20 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kLaneThrow: return "lane_throw";
     case FaultKind::kLaneAbandon: return "lane_abandon";
     case FaultKind::kLaneDelay: return "lane_delay";
+    case FaultKind::kCrash: return "crash";
     case FaultKind::kKindCount: break;
   }
   return "?";
 }
 
 FaultPlan::FaultPlan(const FaultConfig& config)
-    : config_(config), rng_(config.seed), seeded_(true) {}
+    : config_(config),
+      rng_(config.seed),
+      // Independent stream for backoff jitter: derived from the same seed
+      // (replayable) but never consulted by resolve(), so jitter draws
+      // cannot shift the decision stream or schedule_hash.
+      jitter_rng_(config.seed ^ 0x6a09e667f3bcc909ULL),
+      seeded_(true) {}
 
 void FaultPlan::fail_op(std::uint64_t index, FaultKind kind) {
   script_[index] = kind;
@@ -66,11 +73,16 @@ FaultKind FaultPlan::random_draw(OpClass op) {
       return pick == 0   ? FaultKind::kLaneThrow
              : pick == 1 ? FaultKind::kLaneAbandon
                          : FaultKind::kLaneDelay;
+    case OpClass::kStep:
+      // A step boundary has exactly one failure mode: the process dies.
+      // (`pick` is still drawn above so the stream position advances
+      // identically for every op class.)
+      return FaultKind::kCrash;
   }
   return FaultKind::kNone;
 }
 
-FaultKind FaultPlan::resolve(OpClass op, const Partition* hit) {
+FaultKind FaultPlan::resolve(OpClass op, const Partition* hit, bool durable) {
   const std::uint64_t index = next_op_++;
   ++stats_.decisions;
   FaultKind kind;
@@ -82,6 +94,10 @@ FaultKind FaultPlan::resolve(OpClass op, const Partition* hit) {
     kind = FaultKind::kPartition;
   } else {
     kind = random_draw(op);
+    // Randomly drawn crashes fire only at durable step boundaries (see
+    // decide_step): suppressing them here — after the draw — keeps the
+    // stream position identical whether or not the point was durable.
+    if (kind == FaultKind::kCrash && !durable) kind = FaultKind::kNone;
   }
   if (kind != FaultKind::kNone) {
     ++stats_.injected;
@@ -98,7 +114,7 @@ FaultKind FaultPlan::resolve(OpClass op, const Partition* hit) {
   return kind;
 }
 
-FaultKind FaultPlan::decide(OpClass op) { return resolve(op, nullptr); }
+FaultKind FaultPlan::decide(OpClass op) { return resolve(op, nullptr, true); }
 
 FaultKind FaultPlan::decide_send(unsigned src, unsigned dst) {
   const Partition* hit = nullptr;
@@ -109,11 +125,19 @@ FaultKind FaultPlan::decide_send(unsigned src, unsigned dst) {
     hit = &p;
     break;
   }
-  return resolve(OpClass::kSend, hit);
+  return resolve(OpClass::kSend, hit, true);
+}
+
+FaultKind FaultPlan::decide_step(bool durable) {
+  return resolve(OpClass::kStep, nullptr, durable);
 }
 
 double FaultPlan::short_fraction() {
   return seeded_ ? rng_.uniform01() : 0.0;
+}
+
+double FaultPlan::jitter01() {
+  return seeded_ ? jitter_rng_.uniform01() : 0.0;
 }
 
 }  // namespace mp::fault

@@ -71,13 +71,18 @@ enum class FaultKind : std::uint8_t {
   kLaneThrow,    ///< the lane throws before running its task (crash model)
   kLaneAbandon,  ///< the lane never runs its task (dead-worker model)
   kLaneDelay,    ///< the lane stalls before its task (straggler model)
+  // Process faults (pipeline step boundaries).
+  kCrash,  ///< the whole process dies at a step boundary (resume via manifest)
   kKindCount,  // sentinel for stats arrays
 };
 
 const char* to_string(FaultKind kind);
 
-/// Operation classes an injector can interpose on.
-enum class OpClass : std::uint8_t { kRead, kWrite, kAllocate, kSend, kLane };
+/// Operation classes an injector can interpose on. kStep is the pipeline's
+/// checkpoint-step boundary: the only class that can draw kCrash.
+enum class OpClass : std::uint8_t {
+  kRead, kWrite, kAllocate, kSend, kLane, kStep,
+};
 
 /// Counts of what a plan actually injected (deterministic in the seed).
 struct FaultStats {
@@ -117,6 +122,12 @@ struct FaultConfig {
 struct RetryPolicy {
   unsigned max_attempts = 8;  ///< total tries per operation (1 = no retry)
   double backoff_us = 50.0;   ///< modeled wait before a retry; doubles each time
+  /// Jitter fraction in [0, 1]: each backoff is scaled by a seeded uniform
+  /// draw from [1 - jitter, 1] so synchronized retries de-stampede. The
+  /// draws come from FaultPlan::jitter01() — a stream independent of the
+  /// decision stream — so arming jitter never perturbs the fault schedule
+  /// or `schedule_hash`. With no plan attached the backoff is unjittered.
+  double jitter = 0.0;
 };
 
 /// Base class of the typed errors fault-aware subsystems surface
@@ -177,10 +188,24 @@ class FaultPlan {
   FaultKind decide(OpClass op);
   /// Send-specific variant that also consults link-partition scripts.
   FaultKind decide_send(unsigned src, unsigned dst);
+  /// Step-boundary variant for pipeline crash points. Randomly drawn
+  /// crashes are honored only at *durable* points (consulted right after a
+  /// checkpoint landed), which keeps rate-driven crash schedules
+  /// terminating by construction: every incarnation completes at least one
+  /// new unit of work before the next crash can fire. Scripted crashes
+  /// (fail_op / fail_from) are honored at every point, so tests can kill
+  /// the pipeline between a unit's work and its checkpoint too. Either way
+  /// the call consumes exactly one schedule position.
+  FaultKind decide_step(bool durable);
 
   /// Fraction of a kShort transfer that completes, in [0, 1). Deterministic
   /// in the schedule position (consumes one draw).
   double short_fraction();
+
+  /// Uniform draw in [0, 1) from a second RNG stream derived from the same
+  /// seed. Used for RetryPolicy jitter: consuming jitter draws leaves the
+  /// decision stream (and thus schedule_hash) untouched, preserving replay.
+  double jitter01();
 
   double latency_us() const { return config_.latency_us; }
   std::uint64_t ops_seen() const { return next_op_; }
@@ -197,11 +222,12 @@ class FaultPlan {
     std::uint64_t from, length;  // length 0 = forever
   };
 
-  FaultKind resolve(OpClass op, const Partition* hit);
+  FaultKind resolve(OpClass op, const Partition* hit, bool durable);
   FaultKind random_draw(OpClass op);
 
   FaultConfig config_;
   Xoshiro256 rng_;
+  Xoshiro256 jitter_rng_;
   bool seeded_ = false;
   std::uint64_t next_op_ = 0;
   std::map<std::uint64_t, FaultKind> script_;

@@ -1,0 +1,115 @@
+#include "pipeline/async_io.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace mp::pipeline {
+
+struct IoThread::Impl {
+  std::mutex mutex;
+  std::condition_variable work_cv;  // signalled when a job is queued
+  std::condition_variable done_cv;  // signalled when a job completes
+  std::deque<std::pair<std::uint64_t, Job>> queue;
+  // Tickets complete in FIFO order; `completed` is the count of settled
+  // jobs, and a settled job's exception (if any) parks here until the
+  // caller waits on its ticket or drains.
+  std::uint64_t next_ticket = 0;
+  std::uint64_t completed = 0;
+  std::map<std::uint64_t, std::exception_ptr> errors;
+  bool shutting_down = false;
+  std::thread thread;
+
+  void thread_main() {
+    std::unique_lock<std::mutex> lock(mutex);
+    for (;;) {
+      work_cv.wait(lock,
+                   [this] { return !queue.empty() || shutting_down; });
+      if (queue.empty() && shutting_down) return;
+      auto [ticket, job] = std::move(queue.front());
+      queue.pop_front();
+      lock.unlock();
+      std::exception_ptr error;
+      {
+        obs::Span span("pipe.io");
+        try {
+          job();
+        } catch (...) {
+          error = std::current_exception();
+        }
+      }
+      lock.lock();
+      completed = ticket + 1;
+      if (error) errors.emplace(ticket, error);
+      done_cv.notify_all();
+    }
+  }
+};
+
+IoThread::IoThread(bool async) : async_(async) {
+  if (async_) {
+    impl_ = std::make_unique<Impl>();
+    impl_->thread = std::thread([this] { impl_->thread_main(); });
+  }
+}
+
+IoThread::~IoThread() {
+  if (!impl_) return;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutting_down = true;
+  }
+  impl_->work_cv.notify_all();
+  impl_->thread.join();
+  // Unclaimed errors die with the thread; the owner destroying the
+  // IoThread mid-phase is already unwinding from something bigger.
+}
+
+std::uint64_t IoThread::post(Job job) {
+  if (!async_) {
+    // Inline mode: the "ticket" is already settled when post returns and
+    // exceptions propagate directly — the serial execution baseline.
+    job();
+    return 0;
+  }
+  std::uint64_t ticket;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    ticket = impl_->next_ticket++;
+    impl_->queue.emplace_back(ticket, std::move(job));
+  }
+  impl_->work_cv.notify_one();
+  return ticket;
+}
+
+void IoThread::wait(std::uint64_t ticket) {
+  if (!async_) return;
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->done_cv.wait(lock, [&] { return impl_->completed > ticket; });
+  auto it = impl_->errors.find(ticket);
+  if (it == impl_->errors.end()) return;
+  std::exception_ptr error = it->second;
+  impl_->errors.erase(it);
+  lock.unlock();
+  std::rethrow_exception(error);
+}
+
+void IoThread::drain() {
+  if (!async_) return;
+  std::unique_lock<std::mutex> lock(impl_->mutex);
+  impl_->done_cv.wait(
+      lock, [&] { return impl_->completed == impl_->next_ticket; });
+  if (impl_->errors.empty()) return;
+  // Earliest parked error wins (FIFO order = causal order on the device).
+  auto it = impl_->errors.begin();
+  std::exception_ptr error = it->second;
+  impl_->errors.erase(it);
+  lock.unlock();
+  std::rethrow_exception(error);
+}
+
+}  // namespace mp::pipeline

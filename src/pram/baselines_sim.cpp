@@ -66,8 +66,6 @@ SimResult simulate_akl_santoro(const std::vector<Element>& a,
                                const std::vector<Element>& b, unsigned lanes,
                                const MachineModel& model) {
   MP_CHECK(lanes >= 1);
-  ThreadPool serial(0);
-  Executor exec{&serial, lanes};
   unsigned rounds = 0;
   while ((1u << rounds) < lanes) ++rounds;
 

@@ -2,18 +2,22 @@
 
 namespace mp {
 
+// __int128 is a GNU extension; the __extension__ marker keeps it legal
+// under -Wpedantic -Werror.
+__extension__ typedef unsigned __int128 mp_uint128;
+
 std::uint64_t Xoshiro256::bounded(std::uint64_t bound) {
   if (bound == 0) return 0;
   // Lemire's nearly-divisionless method: multiply-shift with a rejection
   // loop that runs only when the 128-bit product lands in the biased zone.
   std::uint64_t x = (*this)();
-  unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+  mp_uint128 m = static_cast<mp_uint128>(x) * bound;
   auto lo = static_cast<std::uint64_t>(m);
   if (lo < bound) {
     const std::uint64_t threshold = (0 - bound) % bound;
     while (lo < threshold) {
       x = (*this)();
-      m = static_cast<unsigned __int128>(x) * bound;
+      m = static_cast<mp_uint128>(x) * bound;
       lo = static_cast<std::uint64_t>(m);
     }
   }

@@ -69,7 +69,7 @@ struct ThreadPool::Impl {
     bool started = false;  ///< a claimer reached this lane
     bool ticket = false;   ///< someone owns the right to run the task
     bool done = false;     ///< outcome fields below are final
-    bool hedged = false;   ///< the ticket was claimed by the caller's hedge
+    bool hedged = false;   ///< the ticket was claimed by the hedger thread
     std::uint64_t start_ns = 0;
     std::uint64_t wall_ns = 0;
     LaneStatus status = LaneStatus::kOk;
@@ -79,8 +79,97 @@ struct ThreadPool::Impl {
   std::vector<fault::FaultKind> decisions;  // per-lane, drawn at fork time
   fault::FaultPlan* plan = nullptr;
 
+  // Dedicated hedger thread (spawned lazily on the first hedged job, one
+  // per pool). Running the straggler scan off the caller's thread is what
+  // lets a stall on the *caller's own* lane be hedged: the caller sleeps
+  // in its lane's cancellable delay wait while the hedger claims the
+  // ticket from outside — previously the scan ran in the caller's barrier
+  // loop, so a caller stuck in its own lane could never reach it.
+  std::thread hedger_thread;
+  std::condition_variable wake_hedger;
+  bool hedger_spawned = false;
+  bool hedger_armed = false;  ///< a hedge-enabled job is in flight
+  bool hedger_busy = false;   ///< hedger is executing a stolen task
+  HedgePolicy hedge_policy{};
+  unsigned hedge_lanes = 0;
+  const std::function<void(unsigned)>* hedge_task = nullptr;
+  bool hedge_timed = false;
+
   bool job_quiescent() const {
     return lanes_remaining == 0 && workers_in_job == 0;
+  }
+
+  // Must be called with `mutex` held.
+  void arm_hedger(const HedgePolicy& hedge, unsigned lanes,
+                  const std::function<void(unsigned)>& fn, bool timed) {
+    if (!hedger_spawned) {
+      hedger_spawned = true;
+      hedger_thread = std::thread([this] { hedger_main(); });
+    }
+    hedge_policy = hedge;
+    hedge_lanes = lanes;
+    hedge_task = &fn;
+    hedge_timed = timed;
+    hedger_armed = true;
+    wake_hedger.notify_one();
+  }
+
+  void hedger_main() {
+    std::unique_lock lock(mutex);
+    for (;;) {
+      wake_hedger.wait(lock, [&] { return hedger_armed || shutting_down; });
+      if (shutting_down) return;
+      while (hedger_armed) {
+        // Re-read the interval each pass: a disarm + re-arm can slip by
+        // entirely while we sleep, swapping the policy under us.
+        const auto interval = std::chrono::microseconds(static_cast<
+            std::int64_t>(std::max(1.0, hedge_policy.check_interval_us)));
+        if (wake_hedger.wait_for(lock, interval, [&] {
+              return !hedger_armed || shutting_down;
+            })) {
+          break;
+        }
+        const int victim = find_straggler(hedge_policy, hedge_lanes);
+        if (victim < 0) continue;
+        // Claim the straggler's ticket: from here exactly one thread (us)
+        // will ever run its task, so speculative re-execution is safe for
+        // in-place tasks too, not just disjoint-output merges. Wake the
+        // sleeping claimer so the barrier is not held hostage by its nap.
+        const auto lane = static_cast<unsigned>(victim);
+        LaneSlot& slot = slots[lane];
+        slot.ticket = true;
+        slot.hedged = true;
+        hedger_busy = true;
+        const std::function<void(unsigned)>& fn = *hedge_task;
+        const bool timed = hedge_timed;
+        delay_cv.notify_all();
+        lock.unlock();
+
+        obs::Span::instant("pool.hedge", "lane", lane);
+        LaneStatus status = LaneStatus::kOk;
+        std::exception_ptr error;
+        {
+          obs::Span span("pool.lane", "lane", lane);
+          try {
+            fn(lane);
+          } catch (...) {
+            status = LaneStatus::kThrew;
+            error = std::current_exception();
+          }
+        }
+        lock.lock();
+        slot.wall_ns = obs::detail::monotonic_ns() - slot.start_ns;
+        slot.status = status;
+        slot.error = std::move(error);
+        slot.done = true;
+        hedger_busy = false;
+        if (timed)
+          obs::LaneMetrics::instance().record_lane(lane, slot.wall_ns);
+        // The caller's barrier also waits for !hedger_busy.
+        job_done.notify_all();
+      }
+      if (shutting_down) return;
+    }
   }
 
   void worker_main() {
@@ -292,7 +381,9 @@ ThreadPool::~ThreadPool() {
   }
   impl_->wake_workers.notify_all();
   impl_->delay_cv.notify_all();
+  impl_->wake_hedger.notify_all();
   for (auto& t : impl_->threads) t.join();
+  if (impl_->hedger_spawned) impl_->hedger_thread.join();
 }
 
 unsigned ThreadPool::workers() const {
@@ -406,34 +497,22 @@ LaneReport ThreadPool::try_parallel_for_lanes(
   impl_->slots.assign(lanes, Impl::LaneSlot{});
 
   if (lanes == 1 || impl_->threads.empty()) {
-    // Inline path: lanes run in order on the caller. Injected faults still
-    // fire (a delay sleeps uncancellably — there is no second thread to
-    // hedge from), so serial pools exercise the same schedules.
-    for (unsigned lane = 0; lane < lanes; ++lane) {
-      Impl::LaneSlot& slot = impl_->slots[lane];
-      const fault::FaultKind decision = impl_->decisions[lane];
-      const std::uint64_t t0 = obs::detail::monotonic_ns();
-      obs::Span span("pool.lane", "lane", lane);
-      if (decision == fault::FaultKind::kLaneDelay && delay.count() > 0)
-        std::this_thread::sleep_for(delay);
-      if (decision == fault::FaultKind::kLaneThrow) {
-        slot.status = LaneStatus::kThrew;
-        slot.error = std::make_exception_ptr(fault::LaneFault(decision, lane));
-        obs::Span::instant("pool.lane_fault", "lane", lane);
-      } else if (decision == fault::FaultKind::kLaneAbandon) {
-        slot.status = LaneStatus::kAbandoned;
-        obs::Span::instant("pool.lane_fault", "lane", lane);
-      } else {
-        try {
-          task(lane);
-        } catch (...) {
-          slot.status = LaneStatus::kThrew;
-          slot.error = std::current_exception();
-        }
-      }
-      slot.wall_ns = obs::detail::monotonic_ns() - t0;
-      slot.done = true;
-      if (timed) obs::LaneMetrics::instance().record_lane(lane, slot.wall_ns);
+    // Inline path: lanes run in order on the caller through the same
+    // ticket/delay machinery as pooled claimers, so an injected stall
+    // sleeps *cancellably* and the hedger thread (armed below) can claim
+    // it — including a stall on the caller's own lane, which the old
+    // caller-side hedge scan could never reach.
+    if (hedge.enabled) {
+      std::lock_guard lock(impl_->mutex);
+      impl_->arm_hedger(hedge, lanes, task, timed);
+    }
+    for (unsigned lane = 0; lane < lanes; ++lane)
+      impl_->execute_faulty_lane(task, lane);
+    {
+      std::unique_lock lock(impl_->mutex);
+      impl_->job_done.wait(lock, [&] { return !impl_->hedger_busy; });
+      impl_->hedger_armed = false;
+      impl_->wake_hedger.notify_one();
     }
   } else {
     {
@@ -447,6 +526,7 @@ LaneReport ThreadPool::try_parallel_for_lanes(
       impl_->job_active = true;
       impl_->job_faulty = true;
       ++impl_->job_id;
+      if (hedge.enabled) impl_->arm_hedger(hedge, lanes, task, timed);
     }
     impl_->wake_workers.notify_all();
 
@@ -455,52 +535,18 @@ LaneReport ThreadPool::try_parallel_for_lanes(
     {
       obs::Span barrier_span("pool.barrier", "lanes", lanes);
       const std::uint64_t b0 = timed ? obs::detail::monotonic_ns() : 0;
-      const auto interval = std::chrono::microseconds(
-          static_cast<std::int64_t>(std::max(1.0, hedge.check_interval_us)));
       std::unique_lock lock(impl_->mutex);
-      for (;;) {
-        if (!hedge.enabled) {
-          impl_->job_done.wait(lock, [&] { return impl_->job_quiescent(); });
-          break;
-        }
-        if (impl_->job_done.wait_for(lock, interval,
-                                     [&] { return impl_->job_quiescent(); }))
-          break;
-        const int victim = impl_->find_straggler(hedge, lanes);
-        if (victim < 0) continue;
-        // Claim the straggler's ticket: from here exactly one thread (us)
-        // will ever run its task, so speculative re-execution is safe for
-        // in-place tasks too, not just disjoint-output merges. Wake the
-        // sleeping claimer so the barrier is not held hostage by its nap.
-        const auto lane = static_cast<unsigned>(victim);
-        Impl::LaneSlot& slot = impl_->slots[lane];
-        slot.ticket = true;
-        slot.hedged = true;
-        impl_->delay_cv.notify_all();
-        lock.unlock();
-
-        obs::Span::instant("pool.hedge", "lane", lane);
-        LaneStatus status = LaneStatus::kOk;
-        std::exception_ptr error;
-        {
-          obs::Span span("pool.lane", "lane", lane);
-          try {
-            task(lane);
-          } catch (...) {
-            status = LaneStatus::kThrew;
-            error = std::current_exception();
-          }
-        }
-        lock.lock();
-        slot.wall_ns = obs::detail::monotonic_ns() - slot.start_ns;
-        slot.status = status;
-        slot.error = std::move(error);
-        slot.done = true;
-        if (timed)
-          obs::LaneMetrics::instance().record_lane(lane, slot.wall_ns);
-      }
+      // Wait for every lane (and checked-in worker) to retire *and* for
+      // the hedger to finish any stolen task it is still running: a
+      // hedged lane's claimer retires as soon as its ticket is stolen, so
+      // quiescence alone no longer implies the slots are final.
+      impl_->job_done.wait(lock, [&] {
+        return impl_->job_quiescent() && !impl_->hedger_busy;
+      });
       impl_->job_active = false;
       impl_->job_faulty = false;
+      impl_->hedger_armed = false;
+      impl_->wake_hedger.notify_one();
       if (timed)
         obs::LaneMetrics::instance().record_barrier_wait(
             obs::detail::monotonic_ns() - b0);

@@ -22,7 +22,8 @@
 /// the lanes did, and (optionally) hedges stragglers: a lane whose
 /// elapsed time exceeds HedgePolicy::factor x the median completed lane
 /// wall-time, and whose task has not started yet, is re-claimed and run by
-/// the caller — MapReduce-style speculative re-execution, safe because
+/// a dedicated hedger thread — MapReduce-style speculative re-execution,
+/// safe because
 /// exactly one thread ever runs a lane's task (a claim "ticket" under the
 /// pool mutex) and lane output segments are disjoint (Theorem 14).
 /// With no plan attached, parallel_for_lanes is byte-for-byte the old
@@ -57,7 +58,7 @@ const char* to_string(LaneStatus status);
 /// Per-lane record of a try_parallel_for_lanes job.
 struct LaneOutcome {
   LaneStatus status = LaneStatus::kOk;
-  bool hedged = false;  ///< task was run by the caller's straggler hedge
+  bool hedged = false;  ///< task was run by the pool's hedger thread
   /// Injected fault decided for this lane (kNone when the schedule spared
   /// it — a kThrew lane with kNone means the task itself threw).
   fault::FaultKind injected = {};
@@ -81,8 +82,11 @@ struct LaneReport {
 };
 
 /// Straggler-hedging knobs for try_parallel_for_lanes. Disabled by
-/// default: hedging pays a periodic wakeup of the caller at the barrier,
-/// so it is opt-in (the recovery layer and benches turn it on).
+/// default: hedging pays a periodic wakeup of a dedicated hedger thread
+/// (spawned lazily, one per pool), so it is opt-in (the recovery layer and
+/// benches turn it on). Because the scan runs off the caller's thread, a
+/// stall on the caller's own claimed lane is hedgeable too — including on
+/// a 0-worker pool, where lanes run inline on the caller.
 struct HedgePolicy {
   bool enabled = false;
   /// Hedge a lane once its elapsed time exceeds `factor` x the median
@@ -91,7 +95,7 @@ struct HedgePolicy {
   /// Never hedge before this much elapsed time (guards tiny jobs where
   /// the median is noise).
   double min_lane_us = 200.0;
-  /// Caller wakeup period at the barrier while lanes are outstanding.
+  /// Hedger wakeup period while a hedge-enabled job is outstanding.
   double check_interval_us = 100.0;
 };
 

@@ -149,6 +149,63 @@ TEST(FaultSweepExtmem, SameSeedReplaysByteIdentically) {
   }
 }
 
+/// Backoff jitter (RetryPolicy::jitter) draws from the fault plan's seeded
+/// jitter stream — a stream independent of the decision stream — so arming
+/// it must not perturb the fault schedule, and replaying a seed must
+/// reproduce the jittered waits bit-exactly.
+TEST(FaultSweepExtmem, JitteredBackoffPreservesReplayAndSchedule) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  const auto data = make_records(1400, 0x7177);
+  auto expected = data;
+  std::stable_sort(expected.begin(), expected.end());
+  struct JitterOutcome {
+    std::vector<KeyedRecord> result;
+    std::uint64_t schedule_hash = 0;
+    std::uint64_t retries = 0;
+    double modeled_us = 0;
+  };
+  const auto run_with_jitter = [&](std::uint64_t seed, double jitter) {
+    extmem::BlockDevice device(small_blocks());
+    fault::FaultPlan plan(fault::FaultConfig{seed, kFaultRate, 250.0});
+    fault::ScopedInjector injector(device, plan);
+    extmem::ExternalSortConfig config;
+    config.memory_elems = 256;
+    config.fan_in = 3;
+    config.exec.threads = 2;
+    config.retry.max_attempts = 16;
+    config.retry.jitter = jitter;
+    JitterOutcome outcome;
+    extmem::ExternalSortReport report;
+    outcome.result =
+        extmem::external_sort_vector(device, data, config, &report);
+    outcome.retries = report.io_retries;
+    outcome.schedule_hash = plan.schedule_hash();
+    outcome.modeled_us = device.modeled_io_us();
+    return outcome;
+  };
+  for (const std::uint64_t seed : {3ull, 19ull, 0x6a5ull}) {
+    SCOPED_TRACE(::testing::Message() << "fault seed=" << seed);
+    const JitterOutcome jittered = run_with_jitter(seed, 0.5);
+    const JitterOutcome replay = run_with_jitter(seed, 0.5);
+    const JitterOutcome straight = run_with_jitter(seed, 0.0);
+    // Schedule is untouched by jitter draws, and identical across replays.
+    ASSERT_EQ(jittered.schedule_hash, straight.schedule_hash);
+    ASSERT_EQ(jittered.schedule_hash, replay.schedule_hash);
+    ASSERT_EQ(jittered.retries, straight.retries);
+    // Replay is exact down to the modeled jittered waits.
+    ASSERT_EQ(replay.retries, jittered.retries);
+    ASSERT_EQ(replay.modeled_us, jittered.modeled_us);
+    ASSERT_EQ(replay.result, jittered.result);
+    // Output bytes are jitter-independent and correct.
+    ASSERT_EQ(jittered.result, expected);
+    ASSERT_EQ(straight.result, expected);
+    // Jitter scales each wait into [1 - j, 1] × backoff: with any retries
+    // on the schedule, total modeled time can only shrink.
+    ASSERT_GT(jittered.retries, 0u);
+    ASSERT_LT(jittered.modeled_us, straight.modeled_us);
+  }
+}
+
 TEST(FaultSweepExtmem, PermanentFaultIsTypedAndLeakFree) {
   if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
   const auto data = make_records(1500, 0xabad);

@@ -108,9 +108,12 @@ TEST_P(ExternalSortParam, SortsCorrectly) {
   ExternalSortReport report;
   const auto sorted = external_sort_vector(device, data, config, &report);
   EXPECT_EQ(sorted, expected);
-  if (n > memory)
+  if (n > memory) {
     EXPECT_GT(report.initial_runs, 1u);
-  if (report.initial_runs > 1) EXPECT_GE(report.merge_passes, 1u);
+  }
+  if (report.initial_runs > 1) {
+    EXPECT_GE(report.merge_passes, 1u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -160,8 +160,9 @@ TEST(StreamMerger, StabilityAcrossManySmallPulls) {
   }
   for (std::size_t i = 1; i < got.size(); ++i) {
     ASSERT_LE(got[i - 1].key, got[i].key);
-    if (got[i - 1].key == got[i].key)
+    if (got[i - 1].key == got[i].key) {
       ASSERT_LT(got[i - 1].payload, got[i].payload) << "at " << i;
+    }
   }
 }
 

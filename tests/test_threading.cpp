@@ -246,6 +246,42 @@ TEST(ThreadPoolTry, HedgeCompletesADelayedLane) {
   EXPECT_TRUE(hedged) << "no attempt hedged the stalled lane";
 }
 
+TEST(ThreadPoolTry, HedgerThreadRescuesTheCallersOwnStalledLane) {
+  if (!fault::kFaultCompiledIn) GTEST_SKIP() << "MP_FAULT=0 build";
+  // 0 workers: every lane runs inline on the caller, so when lane 0 draws
+  // the injected stall there is no other lane thread that could ever hedge
+  // it — only the dedicated hedger thread can. And it is deterministic (no
+  // claim race to retry): the caller is asleep in the cancellable delay
+  // while the hedger — with no completed-lane median yet, falling back to
+  // the min_lane_us threshold — claims the ticket, runs the task, and
+  // cancels the nap.
+  ThreadPool pool(0);
+  HedgePolicy hedge;
+  hedge.enabled = true;
+  hedge.min_lane_us = 500.0;
+  hedge.check_interval_us = 200.0;
+  fault::FaultConfig config;
+  config.lane_delay_us = 5e6;  // 5 s: a failed hedge is a visible stall
+  fault::FaultPlan plan(config);
+  plan.fail_op(0, fault::FaultKind::kLaneDelay);  // the caller's own lane
+  fault::ScopedInjector injector(pool, plan);
+  std::vector<std::atomic<int>> hits(2);
+  const auto t0 = std::chrono::steady_clock::now();
+  const LaneReport report = pool.try_parallel_for_lanes(
+      2, [&](unsigned lane) { hits[lane].fetch_add(1); }, hedge);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(report.hedges, 1u);
+  EXPECT_TRUE(report.lanes[0].hedged);
+  EXPECT_EQ(hits[0].load(), 1);  // exactly once, on the hedger thread
+  EXPECT_EQ(hits[1].load(), 1);
+  // The barrier must not have waited out the injected 5 s nap.
+  EXPECT_LT(elapsed_ms, 2500.0);
+}
+
 TEST(Executor, DefaultsResolveToSharedPool) {
   Executor exec{};
   EXPECT_GE(exec.resolve_threads(), 1u);

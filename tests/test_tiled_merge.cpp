@@ -92,8 +92,9 @@ TEST(TiledMerge, StableOnHeavyDuplicates) {
                        out.data(), 64, Executor{nullptr, 8});
   for (std::size_t i = 1; i < out.size(); ++i) {
     ASSERT_LE(out[i - 1].key, out[i].key);
-    if (out[i - 1].key == out[i].key)
+    if (out[i - 1].key == out[i].key) {
       ASSERT_LT(out[i - 1].payload, out[i].payload) << "at " << i;
+    }
   }
 }
 

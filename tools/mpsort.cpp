@@ -29,6 +29,17 @@
 // layer (core/recovery.hpp) retries the failed lanes' disjoint segments
 // with straggler hedging on. Prints the schedule hash — two runs with the
 // same seed print the same hash and produce byte-identical output.
+//
+// `xsort` (docs/PIPELINE.md) is the crash-consistent pipeline's CLI face:
+// a checkpointed sharded external sort whose simulated device persists to
+// --device <image> across process exits. An injected crash (--crash-at K
+// or --crash-rate R) saves the image mid-flight and exits 3; rerunning
+// with --resume rolls back to the last checkpoint and continues —
+// repeat until exit 0. --corrupt-manifest wrecks both manifest slots in
+// an existing image (the torn-superblock drill): the next --resume exits
+// 4 (typed ManifestError, full restart required — never wrong bytes).
+// Exit codes: 0 sorted, 1 typed I/O or network failure, 2 usage,
+// 3 crashed (resumable), 4 manifest unrecoverable.
 
 #include <charconv>
 #include <cstdio>
@@ -40,10 +51,14 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "core/mergepath.hpp"
+#include "dist/netsim.hpp"
 #include "extmem/external_sort.hpp"
 #include "fault/fault.hpp"
 #include "kernels/kernels.hpp"
+#include "pipeline/pipeline.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/percentiles.hpp"
@@ -63,6 +78,15 @@ using namespace mp;
       "  mpsort merge <output> <in1> <in2> [...] [--binary] [--numeric]\n"
       "               [--threads N]\n"
       "  mpsort check <input> [--binary] [--numeric]\n"
+      "  mpsort xsort <input> <output> --device <image> [--resume]\n"
+      "               [--shards N] [--memory N] [--segment-blocks N]\n"
+      "               [--no-double-buffer] [--threads N] [--crash-at K]\n"
+      "               [--crash-rate R] [--crash-seed S] [--corrupt-manifest]\n"
+      "               crash-consistent external sort of little-endian int32;\n"
+      "               the simulated device persists to --device across\n"
+      "               incarnations. exits: 0 sorted, 1 typed I/O error,\n"
+      "               3 crashed (rerun with --resume), 4 manifest\n"
+      "               unrecoverable (full restart)\n"
       "kernel selection (any command):\n"
       "  --kernel K             force the per-lane merge kernel, K in\n"
       "                         scalar|branchless|sse4|avx2 (default: the\n"
@@ -102,8 +126,33 @@ struct Options {
   std::string metrics_json;
   std::string prometheus_path;
   std::string flight_dump;
+  // xsort (the crash-consistent pipeline):
+  std::string device_path;
+  bool resume = false;
+  bool corrupt_manifest = false;
+  bool no_double_buffer = false;
+  unsigned shards = 4;
+  std::uint64_t memory_elems = 1ull << 15;
+  std::uint64_t segment_blocks = 4;
+  double crash_rate = 0.0;
+  std::uint64_t crash_seed = 0;
+  std::int64_t crash_at = -1;  ///< scripted kill step; -1 = none
   std::vector<std::string> files;
 };
+
+std::uint64_t parse_u64_flag(const char* flag, const char* value) {
+  try {
+    std::size_t parsed = 0;
+    const std::uint64_t v = std::stoull(value, &parsed);
+    if (parsed != std::string(value).size())
+      throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    std::cerr << flag << " expects a non-negative integer, got '" << value
+              << "'\n";
+    usage();
+  }
+}
 
 Options parse(int argc, char** argv, int first) {
   Options opt;
@@ -171,10 +220,38 @@ Options parse(int argc, char** argv, int first) {
                   << argv[i] << "'\n";
         usage();
       }
-    } else if (arg == "--fault-rate" || arg == "--lane-fault-rate") {
+    } else if (arg == "--device") {
       if (++i >= argc) usage();
-      double& rate =
-          arg == "--fault-rate" ? opt.fault_rate : opt.lane_fault_rate;
+      opt.device_path = argv[i];
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--corrupt-manifest") {
+      opt.corrupt_manifest = true;
+    } else if (arg == "--no-double-buffer") {
+      opt.no_double_buffer = true;
+    } else if (arg == "--shards") {
+      if (++i >= argc) usage();
+      opt.shards = static_cast<unsigned>(
+          parse_u64_flag("--shards", argv[i]));
+    } else if (arg == "--memory") {
+      if (++i >= argc) usage();
+      opt.memory_elems = parse_u64_flag("--memory", argv[i]);
+    } else if (arg == "--segment-blocks") {
+      if (++i >= argc) usage();
+      opt.segment_blocks = parse_u64_flag("--segment-blocks", argv[i]);
+    } else if (arg == "--crash-seed") {
+      if (++i >= argc) usage();
+      opt.crash_seed = parse_u64_flag("--crash-seed", argv[i]);
+    } else if (arg == "--crash-at") {
+      if (++i >= argc) usage();
+      opt.crash_at = static_cast<std::int64_t>(
+          parse_u64_flag("--crash-at", argv[i]));
+    } else if (arg == "--crash-rate" || arg == "--fault-rate" ||
+               arg == "--lane-fault-rate") {
+      if (++i >= argc) usage();
+      double& rate = arg == "--crash-rate"    ? opt.crash_rate
+                     : arg == "--fault-rate" ? opt.fault_rate
+                                             : opt.lane_fault_rate;
       try {
         std::size_t parsed = 0;
         rate = std::stod(argv[i], &parsed);
@@ -391,6 +468,136 @@ int run_lane_fault_sort(const Options& opt) {
   return 0;
 }
 
+/// `xsort`: the crash-consistent checkpointed pipeline with the simulated
+/// device persisted to an image file, so "crash" really is process death —
+/// a later invocation resumes another incarnation against the same
+/// storage bytes. The manifest base block rides in the image's user word;
+/// the element count is the input file's size (both incarnations read the
+/// same input file).
+int run_xsort(const Options& opt) {
+  if (opt.files.size() != 2 || opt.device_path.empty()) usage();
+  if (opt.resume && opt.corrupt_manifest) {
+    std::cerr << "--resume and --corrupt-manifest are separate drills; "
+                 "pick one\n";
+    usage();
+  }
+  const std::vector<std::int32_t> input_data = read_binary(opt.files[0]);
+  const std::uint64_t n = input_data.size();
+
+  pipeline::PipelineConfig cfg;
+  cfg.shards = opt.shards;
+  cfg.memory_elems = opt.memory_elems;
+  cfg.segment_blocks = opt.segment_blocks;
+  cfg.double_buffer = !opt.no_double_buffer;
+  cfg.exec = Executor{nullptr, opt.threads};
+  fault::FaultPlan crash_plan =
+      opt.crash_rate > 0.0
+          ? fault::FaultPlan(
+                fault::FaultConfig{opt.crash_seed, opt.crash_rate})
+          : fault::FaultPlan();
+  if (opt.crash_at >= 0)
+    crash_plan.fail_op(static_cast<std::uint64_t>(opt.crash_at),
+                       fault::FaultKind::kCrash);
+  if (opt.crash_rate > 0.0 || opt.crash_at >= 0) {
+    cfg.crash_plan = &crash_plan;
+    if (!fault::kFaultCompiledIn)
+      std::cerr << "mpsort: fault injection compiled out "
+                   "(MERGEPATH_FAULT=OFF); the crash schedule never "
+                   "fires\n";
+  }
+
+  const auto load_device = [&](std::uint64_t* base) {
+    std::ifstream in(opt.device_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open device image " << opt.device_path << "\n";
+      std::exit(1);
+    }
+    return extmem::BlockDevice::load_image(in, base);
+  };
+  const auto save_device = [&](const extmem::BlockDevice& device,
+                               std::uint64_t base) {
+    std::ofstream out(opt.device_path,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "cannot write device image " << opt.device_path << "\n";
+      std::exit(1);
+    }
+    device.save_image(out, base);
+  };
+
+  try {
+    if (opt.corrupt_manifest) {
+      // The torn-superblock drill: wreck BOTH checkpoint slots of an
+      // existing image, so the next --resume must fail typed (exit 4).
+      std::uint64_t base = 0;
+      extmem::BlockDevice device = load_device(&base);
+      pipeline::ManifestStore store = pipeline::ManifestStore::attach(
+          device, base,
+          pipeline::worst_case_manifest_bytes(cfg.shards, n,
+                                              cfg.memory_elems));
+      store.corrupt_slot(0);
+      store.corrupt_slot(1);
+      save_device(device, base);
+      std::cerr << "mpsort: corrupted both manifest slots in "
+                << opt.device_path << "\n";
+      return 0;
+    }
+
+    std::uint64_t base = 0;
+    std::optional<extmem::BlockDevice> device;
+    std::optional<pipeline::Pipeline<std::int32_t>> pipe;
+    if (opt.resume) {
+      device.emplace(load_device(&base));
+      pipe.emplace(pipeline::Pipeline<std::int32_t>::resume(*device, base,
+                                                            n, cfg));
+    } else {
+      device.emplace();
+      extmem::RunWriter<std::int32_t> writer(*device);
+      writer.append(input_data.data(), input_data.size());
+      pipe.emplace(pipeline::Pipeline<std::int32_t>::start(
+          *device, writer.finish(), cfg));
+      base = pipe->manifest_block();
+    }
+
+    Timer timer;
+    try {
+      const pipeline::PipelineReport report = pipe->run();
+      save_device(*device, base);
+      extmem::RunReader<std::int32_t> reader(*device, report.output);
+      std::vector<std::int32_t> sorted;
+      sorted.reserve(static_cast<std::size_t>(n));
+      while (!reader.empty()) sorted.push_back(reader.next());
+      write_binary(opt.files[1], sorted);
+      std::cerr << "mpsort: xsorted " << n << " records in "
+                << timer.seconds() * 1e3 << " ms (runs_formed="
+                << report.runs_formed << " segments_merged="
+                << report.segments_merged << " ranks_exchanged="
+                << report.ranks_exchanged << " checkpoints="
+                << report.checkpoints << " resumes=" << report.resumes
+                << ")\n";
+      return 0;
+    } catch (const pipeline::CrashError& error) {
+      // Injected process death: persist the device exactly as the crash
+      // left it (last durable checkpoint included) and hand the resume
+      // token to the next incarnation.
+      save_device(*device, base);
+      std::cerr << "mpsort: " << error.what()
+                << "; device image saved, rerun with --resume\n";
+      return 3;
+    }
+  } catch (const pipeline::ManifestError& error) {
+    std::cerr << "mpsort: manifest unrecoverable: " << error.what()
+              << "; full restart (without --resume) required\n";
+    return 4;
+  } catch (const extmem::IoError& error) {
+    std::cerr << "mpsort: xsort failed: " << error.what() << "\n";
+    return 1;
+  } catch (const dist::NetError& error) {
+    std::cerr << "mpsort: xsort failed: " << error.what() << "\n";
+    return 1;
+  }
+}
+
 int run_command(const std::string& command, const Options& opt) {
   if ((opt.fault_rate > 0.0 || opt.lane_fault_rate > 0.0) &&
       !(command == "sort" && opt.binary)) {
@@ -403,6 +610,7 @@ int run_command(const std::string& command, const Options& opt) {
                  "pick one\n";
     usage();
   }
+  if (command == "xsort") return run_xsort(opt);
   if (command == "sort") {
     if (opt.files.size() != 2) usage();
     if (opt.binary && opt.fault_rate > 0.0) return run_fault_sort(opt);
