@@ -2,12 +2,13 @@
 // primitives: the diagonal binary search vs the Deo-Sarkar halving
 // selection, the full path partition, the sequential merge kernels, the
 // loser tree, and multiway selection — plus the kernel ablation family
-// (BM_KernelMerge32/64) that scripts/bench_kernels.py turns into
-// BENCH_5.json. Carries its own main(): --kernel <name> is stripped
-// before google-benchmark sees argv, forces the dispatch choice for every
-// benchmark, and restricts the ablation family to that kernel. An
-// unknown name exits 2; a known-but-unsupported one prints a skip notice
-// and exits 0 so CI can request avx2 unconditionally.
+// (BM_KernelMerge32/64/F32/F64 and BM_SortSmall24) that
+// scripts/bench_kernels.py turns into BENCH_5.json. Carries its own
+// main(): --kernel <name> is stripped before google-benchmark sees argv,
+// forces the dispatch choice for every benchmark, and restricts the
+// ablation family to that kernel. An unknown name exits 2; a
+// known-but-unsupported one prints a skip notice and exits 0 so CI can
+// request avx2/avx512 unconditionally.
 
 #include <benchmark/benchmark.h>
 
@@ -16,9 +17,12 @@
 #include <string>
 
 #include "baselines/deo_sarkar.hpp"
+#include "core/merge_sort.hpp"
 #include "core/mergepath.hpp"
 #include "core/multiway_merge.hpp"
+#include "core/segmented_merge.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/sort_network.hpp"
 #include "obs/fastclock.hpp"
 #include "obs/flight.hpp"
 #include "obs/percentiles.hpp"
@@ -186,6 +190,38 @@ void BM_MultiwaySelect(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiwaySelect)->Arg(2)->Arg(8)->Arg(64);
 
+// --- Ring-window linearization (SPM) -------------------------------------
+// Prices SegmentedConfig::linearize_wrapped: the same serial segmented
+// merge with wrapped ring windows either copied flat (vector segment
+// loop) or walked through CyclicView (scalar segment loop). L = 192 is
+// deliberately not a power of two so most windows wrap.
+
+void run_segmented_linearize(benchmark::State& state, bool linearize) {
+  constexpr std::size_t kN = 256 << 10;
+  const auto input = make_merge_input(Dist::kUniform, kN, kN, 42);
+  std::vector<std::int32_t> out(2 * kN);
+  SegmentedConfig config;
+  config.segment_length = 192;
+  config.linearize_wrapped = linearize;
+  for (auto _ : state) {
+    segmented_parallel_merge(input.a.data(), kN, input.b.data(), kN,
+                             out.data(), config, Executor{nullptr, 1});
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * kN) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_SegmentedLinearize_On(benchmark::State& state) {
+  run_segmented_linearize(state, true);
+}
+BENCHMARK(BM_SegmentedLinearize_On);
+
+void BM_SegmentedLinearize_Off(benchmark::State& state) {
+  run_segmented_linearize(state, false);
+}
+BENCHMARK(BM_SegmentedLinearize_Off);
+
 // --- Span overhead -------------------------------------------------------
 // Prices one obs::Span construct/destruct edge under every consumer
 // configuration the combined state byte can express, plus both clock
@@ -319,7 +355,99 @@ void run_kernel_merge64(benchmark::State& state, kernels::Kernel kernel) {
                           static_cast<std::int64_t>(state.iterations()));
 }
 
+void run_kernel_merge_f32(benchmark::State& state, kernels::Kernel kernel) {
+  // Total-order float mode row: the pinned keys as floats (monotone
+  // conversion; mantissa rounding adds extra ties, which is the harder
+  // case), merged under TotalOrderLess so dispatch admits the vector
+  // path via the sign-flip key bijection.
+  const auto input = make_merge_input(Dist::kUniform, kAblationN, kAblationN,
+                                      42);
+  std::vector<float> a(kAblationN), b(kAblationN);
+  for (std::size_t k = 0; k < kAblationN; ++k) {
+    a[k] = static_cast<float>(input.a[k]);
+    b[k] = static_cast<float>(input.b[k]);
+  }
+  std::vector<float> out(2 * kAblationN);
+  const kernels::Kernel previous = kernels::selected_kernel();
+  kernels::set_kernel(kernel);
+  for (auto _ : state) {
+    std::size_t i = 0, j = 0;
+    kernels::merge_steps_auto(a.data(), kAblationN, b.data(), kAblationN, &i,
+                              &j, out.data(), 2 * kAblationN,
+                              kernels::TotalOrderLess{});
+    benchmark::DoNotOptimize(out.data());
+  }
+  kernels::set_kernel(previous);
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * kAblationN) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+void run_kernel_merge_f64(benchmark::State& state, kernels::Kernel kernel) {
+  const auto input = make_merge_input(Dist::kUniform, kAblationN, kAblationN,
+                                      42);
+  std::vector<double> a(kAblationN), b(kAblationN);
+  for (std::size_t k = 0; k < kAblationN; ++k) {
+    a[k] = static_cast<double>(input.a[k]) * 1.25;
+    b[k] = static_cast<double>(input.b[k]) * 1.25;
+  }
+  std::vector<double> out(2 * kAblationN);
+  const kernels::Kernel previous = kernels::selected_kernel();
+  kernels::set_kernel(kernel);
+  for (auto _ : state) {
+    std::size_t i = 0, j = 0;
+    kernels::merge_steps_auto(a.data(), kAblationN, b.data(), kAblationN, &i,
+                              &j, out.data(), 2 * kAblationN,
+                              kernels::TotalOrderLess{});
+    benchmark::DoNotOptimize(out.data());
+  }
+  kernels::set_kernel(previous);
+  state.SetItemsProcessed(static_cast<std::int64_t>(2 * kAblationN) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
+// Sort base case at the merge-sort grain: 64 Ki keys sorted as
+// independent kInsertionSortThreshold-element runs, fresh (unsorted)
+// bytes every iteration via a timed memcpy both variants pay
+// identically. The "insertion" row calls the fallback directly; the
+// per-kernel rows go through sort_small_auto, which takes the network
+// path under any vector kernel.
+void run_sort_small(benchmark::State& state, kernels::Kernel kernel,
+                    bool force_insertion) {
+  // Unsorted keys, not make_merge_input (whose arrays are pre-sorted —
+  // insertion sort would run its O(n) best case and the comparison would
+  // be meaningless).
+  std::vector<std::int32_t> pristine(kAblationN);
+  Xoshiro256 rng(42);
+  for (auto& x : pristine) x = static_cast<std::int32_t>(rng.bounded(1u << 30));
+  std::vector<std::int32_t> data(kAblationN);
+  const kernels::Kernel previous = kernels::selected_kernel();
+  kernels::set_kernel(kernel);
+  constexpr std::size_t kGrain = detail::kInsertionSortThreshold;
+  for (auto _ : state) {
+    std::memcpy(data.data(), pristine.data(),
+                kAblationN * sizeof(std::int32_t));
+    for (std::size_t begin = 0; begin < kAblationN; begin += kGrain) {
+      const std::size_t len = std::min(kGrain, kAblationN - begin);
+      if (force_insertion) {
+        kernels::detail::insertion_sort_fallback(
+            data.data() + begin, len, std::less<>{},
+            static_cast<NoInstrument*>(nullptr));
+      } else {
+        kernels::sort_small_auto(data.data() + begin, len);
+      }
+    }
+    benchmark::DoNotOptimize(data.data());
+  }
+  kernels::set_kernel(previous);
+  state.SetItemsProcessed(static_cast<std::int64_t>(kAblationN) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+
 void register_kernel_ablation(bool restrict_to_selected) {
+  benchmark::RegisterBenchmark(
+      "BM_SortSmall24/insertion", [](benchmark::State& state) {
+        run_sort_small(state, kernels::Kernel::kScalar, true);
+      });
   for (const kernels::Kernel kernel : kernels::kAllKernels) {
     if (!kernels::kernel_supported(kernel)) continue;
     if (restrict_to_selected && kernel != kernels::selected_kernel())
@@ -334,6 +462,21 @@ void register_kernel_ablation(bool restrict_to_selected) {
         ("BM_KernelMerge64/" + name).c_str(),
         [kernel](benchmark::State& state) {
           run_kernel_merge64(state, kernel);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_KernelMergeF32/" + name).c_str(),
+        [kernel](benchmark::State& state) {
+          run_kernel_merge_f32(state, kernel);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_KernelMergeF64/" + name).c_str(),
+        [kernel](benchmark::State& state) {
+          run_kernel_merge_f64(state, kernel);
+        });
+    benchmark::RegisterBenchmark(
+        ("BM_SortSmall24/" + name).c_str(),
+        [kernel](benchmark::State& state) {
+          run_sort_small(state, kernel, false);
         });
   }
 }
@@ -350,7 +493,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--kernel") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "error: --kernel needs a value "
-                             "(scalar|branchless|sse4|avx2)\n");
+                             "(scalar|branchless|sse4|avx2|avx512)\n");
         return 2;
       }
       forced = argv[++i];
@@ -365,7 +508,7 @@ int main(int argc, char** argv) {
     if (!kernel) {
       std::fprintf(stderr,
                    "error: unknown --kernel '%s' "
-                   "(scalar|branchless|sse4|avx2)\n",
+                   "(scalar|branchless|sse4|avx2|avx512)\n",
                    forced.c_str());
       return 2;
     }

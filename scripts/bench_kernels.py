@@ -5,19 +5,28 @@ Usage:
     bench_kernels.py [--bench PATH] [--out BENCH_5.json] [--repetitions N]
     bench_kernels.py --check [BENCH_5.json]
 
-The run mode drives `bench_micro --benchmark_filter=BM_KernelMerge` on the
-pinned ablation inputs (uniform 32-bit keys, seed 42, m = n = 65536, plus
-the order-preserving 64-bit widening — see bench/bench_micro.cpp) once per
-compiled+supported kernel, then writes one JSON document:
+The run mode drives bench_micro's ablation families
+(BM_KernelMerge32/64/F32/F64 and BM_SortSmall24) on the pinned inputs
+(uniform 32-bit keys, seed 42, m = n = 65536, plus the order-preserving
+64-bit widening and the monotone float/double conversions merged under
+TotalOrderLess — see bench/bench_micro.cpp) once per compiled+supported
+kernel, then writes one JSON document:
 
     {
-      "schema": "mergepath-kernel-bench-v1",
-      "host_isa": "sse4.2+avx2",
+      "schema": "mergepath-kernel-bench-v2",
+      "host_isa": "sse4.2+avx2+avx512",
       "input": {...pinned-generator description...},
       "kernels": {
         "scalar": {"key32_ns_per_element": ..., "key64_ns_per_element": ...,
-                   "speedup32_vs_scalar": 1.0, "speedup64_vs_scalar": 1.0},
-        "avx2":   {...}
+                   "f32_ns_per_element": ..., "f64_ns_per_element": ...,
+                   "speedup32_vs_scalar": 1.0, ...},
+        "avx512": {...}
+      },
+      "sort_small": {
+        "grain": 24,
+        "insertion_ns_per_element": ...,
+        "kernels": {"scalar": {...}, "avx512": {...,
+                    "speedup_vs_insertion": ...}}
       }
     }
 
@@ -28,9 +37,11 @@ diff the speedup columns.
 
 --check validates the schema instead of running anything: the scalar
 baseline must be present with speedups exactly 1.0, every kernel row must
-carry positive timings, and any sse4/avx2 rows must not be slower than
-scalar by more than 2x (a vector kernel that lost that badly means the
-dispatch default is wrong). Exit 0 on success, 1 with a diagnostic.
+carry positive timings, and any sse4/avx2/avx512 rows must not be slower
+than scalar by more than 2x (a vector kernel that lost that badly means
+the dispatch default is wrong). The sort_small block, when present, needs
+a positive insertion baseline and positive per-kernel timings. Exit 0 on
+success, 1 with a diagnostic.
 """
 
 import argparse
@@ -39,20 +50,33 @@ import os
 import subprocess
 import sys
 
-SCHEMA = "mergepath-kernel-bench-v1"
-KERNELS = ["scalar", "branchless", "sse4", "avx2"]
+SCHEMA = "mergepath-kernel-bench-v2"
+KERNELS = ["scalar", "branchless", "sse4", "avx2", "avx512"]
+MERGE_FAMILIES = {
+    "BM_KernelMerge32": "key32",
+    "BM_KernelMerge64": "key64",
+    "BM_KernelMergeF32": "f32",
+    "BM_KernelMergeF64": "f64",
+}
+SORT_FAMILY = "BM_SortSmall24"
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BENCH = os.path.join(REPO_ROOT, "build", "bench", "bench_micro")
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_5.json")
 
-# What bench_micro pins for the ablation family (kAblationN etc.); recorded
-# in the artifact so a reader does not need the source to interpret it.
+# What bench_micro pins for the ablation families (kAblationN etc.);
+# recorded in the artifact so a reader does not need the source to
+# interpret it.
 PINNED_INPUT = {
     "distribution": "uniform",
     "seed": 42,
     "elements_per_array": 65536,
     "key32": "int32 from the pinned generator",
     "key64": "int64 widening (key << 16) of the same keys",
+    "f32": "float(key) merged under TotalOrderLess (monotone, adds ties)",
+    "f64": "double(key) * 1.25 merged under TotalOrderLess",
+    "sort_small": "64 Ki unsorted int32 (xoshiro, seed 42) sorted as "
+                  "independent 24-key runs (timed memcpy refreshes the "
+                  "bytes each iteration)",
 }
 
 
@@ -62,12 +86,13 @@ def fail(message):
 
 
 def run_bench(bench_path, repetitions):
-    """Runs the ablation family once and returns {kernel: {bits: ns/elem}}."""
+    """Runs the ablation families once; returns (merge, sort) result maps."""
     if not os.path.exists(bench_path):
         fail(f"bench binary not found at {bench_path} (build first, or pass --bench)")
+    families = "|".join(list(MERGE_FAMILIES) + [SORT_FAMILY])
     cmd = [
         bench_path,
-        "--benchmark_filter=BM_KernelMerge",
+        f"--benchmark_filter=^({families})/",
         "--benchmark_format=json",
         f"--benchmark_repetitions={repetitions}",
         "--benchmark_report_aggregates_only=true",
@@ -77,7 +102,7 @@ def run_bench(bench_path, repetitions):
         fail(f"{' '.join(cmd)} exited {proc.returncode}:\n{proc.stderr}")
     doc = json.loads(proc.stdout)
 
-    results = {}
+    merge, sort_small = {}, {}
     for row in doc.get("benchmarks", []):
         # Aggregate rows are named BM_KernelMerge32/<kernel>_mean etc.;
         # take the mean (with repetitions=1 the raw row is the only row).
@@ -89,16 +114,19 @@ def run_bench(bench_path, repetitions):
             family, kernel = base.split("/", 1)
         except ValueError:
             continue
-        if family not in ("BM_KernelMerge32", "BM_KernelMerge64"):
-            continue
         ips = row.get("items_per_second")
-        if not ips or ips <= 0:
-            fail(f"{name}: missing items_per_second")
-        bits = "key32" if family.endswith("32") else "key64"
-        results.setdefault(kernel, {})[bits] = 1e9 / ips
-    if "scalar" not in results:
+        if family in MERGE_FAMILIES or family == SORT_FAMILY:
+            if not ips or ips <= 0:
+                fail(f"{name}: missing items_per_second")
+        if family in MERGE_FAMILIES:
+            merge.setdefault(kernel, {})[MERGE_FAMILIES[family]] = 1e9 / ips
+        elif family == SORT_FAMILY:
+            sort_small[kernel] = 1e9 / ips
+    if "scalar" not in merge:
         fail("no scalar baseline in benchmark output (wrong filter or binary?)")
-    return results
+    if "insertion" not in sort_small:
+        fail("no insertion baseline in BM_SortSmall24 output")
+    return merge, sort_small
 
 
 def host_isa(bench_path):
@@ -115,24 +143,40 @@ def host_isa(bench_path):
     return "unknown"
 
 
-def write_artifact(out_path, isa, results):
-    scalar = results["scalar"]
+def write_artifact(out_path, isa, merge, sort_small):
+    scalar = merge["scalar"]
     kernels = {}
     for kernel in KERNELS:
-        if kernel not in results:
+        if kernel not in merge:
             continue  # not compiled in / not supported on this host
-        row = results[kernel]
-        kernels[kernel] = {
-            "key32_ns_per_element": round(row["key32"], 4),
-            "key64_ns_per_element": round(row["key64"], 4),
-            "speedup32_vs_scalar": round(scalar["key32"] / row["key32"], 3),
-            "speedup64_vs_scalar": round(scalar["key64"] / row["key64"], 3),
-        }
+        row = merge[kernel]
+        entry = {}
+        for bits in MERGE_FAMILIES.values():
+            entry[f"{bits}_ns_per_element"] = round(row[bits], 4)
+        entry["speedup32_vs_scalar"] = round(scalar["key32"] / row["key32"], 3)
+        entry["speedup64_vs_scalar"] = round(scalar["key64"] / row["key64"], 3)
+        entry["speedup_f32_vs_scalar"] = round(scalar["f32"] / row["f32"], 3)
+        entry["speedup_f64_vs_scalar"] = round(scalar["f64"] / row["f64"], 3)
+        kernels[kernel] = entry
+    insertion = sort_small["insertion"]
+    sort_doc = {
+        "grain": 24,
+        "insertion_ns_per_element": round(insertion, 4),
+        "kernels": {
+            kernel: {
+                "ns_per_element": round(ns, 4),
+                "speedup_vs_insertion": round(insertion / ns, 3),
+            }
+            for kernel, ns in sort_small.items()
+            if kernel != "insertion"
+        },
+    }
     doc = {
         "schema": SCHEMA,
         "host_isa": isa,
         "input": PINNED_INPUT,
         "kernels": kernels,
+        "sort_small": sort_doc,
     }
     with open(out_path, "w") as f:
         json.dump(doc, f, indent=2)
@@ -153,24 +197,41 @@ def check(path):
     kernels = doc.get("kernels")
     if not isinstance(kernels, dict) or "scalar" not in kernels:
         fail(f"{path}: kernels must be an object with a scalar baseline")
+    timing_keys = [f"{bits}_ns_per_element" for bits in MERGE_FAMILIES.values()]
+    speedup_keys = [
+        "speedup32_vs_scalar",
+        "speedup64_vs_scalar",
+        "speedup_f32_vs_scalar",
+        "speedup_f64_vs_scalar",
+    ]
     for name, row in kernels.items():
         if name not in KERNELS:
             fail(f"{path}: unknown kernel {name!r}")
-        for key in (
-            "key32_ns_per_element",
-            "key64_ns_per_element",
-            "speedup32_vs_scalar",
-            "speedup64_vs_scalar",
-        ):
+        for key in timing_keys + speedup_keys:
             value = row.get(key)
             if not isinstance(value, (int, float)) or value <= 0:
                 fail(f"{path}: kernels.{name}.{key} must be > 0, got {value!r}")
-    for key in ("speedup32_vs_scalar", "speedup64_vs_scalar"):
+    for key in speedup_keys:
         if kernels["scalar"][key] != 1.0:
             fail(f"{path}: scalar {key} must be exactly 1.0")
-    for name in ("sse4", "avx2"):
+    for name in ("sse4", "avx2", "avx512"):
         if name in kernels and kernels[name]["speedup32_vs_scalar"] < 0.5:
             fail(f"{path}: {name} is >2x slower than scalar — dispatch default is wrong")
+    sort_small = doc.get("sort_small")
+    if sort_small is not None:
+        insertion = sort_small.get("insertion_ns_per_element")
+        if not isinstance(insertion, (int, float)) or insertion <= 0:
+            fail(f"{path}: sort_small.insertion_ns_per_element must be > 0")
+        rows = sort_small.get("kernels")
+        if not isinstance(rows, dict) or not rows:
+            fail(f"{path}: sort_small.kernels must be a non-empty object")
+        for name, row in rows.items():
+            if name not in KERNELS:
+                fail(f"{path}: unknown sort_small kernel {name!r}")
+            for key in ("ns_per_element", "speedup_vs_insertion"):
+                value = row.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    fail(f"{path}: sort_small.kernels.{name}.{key} must be > 0")
     print(f"{path}: ok ({', '.join(sorted(kernels))}; isa {doc['host_isa']})")
 
 
@@ -191,15 +252,25 @@ def main():
         check(args.check)
         return
 
-    results = run_bench(args.bench, args.repetitions)
-    doc = write_artifact(args.out, host_isa(args.bench), results)
+    merge, sort_small = run_bench(args.bench, args.repetitions)
+    doc = write_artifact(args.out, host_isa(args.bench), merge, sort_small)
     print(f"wrote {args.out}")
     for name, row in doc["kernels"].items():
         print(
             f"  {name:10s} {row['key32_ns_per_element']:8.3f} ns/elem (32-bit, "
             f"{row['speedup32_vs_scalar']:.2f}x)  "
             f"{row['key64_ns_per_element']:8.3f} ns/elem (64-bit, "
-            f"{row['speedup64_vs_scalar']:.2f}x)"
+            f"{row['speedup64_vs_scalar']:.2f}x)  "
+            f"{row['f32_ns_per_element']:8.3f} ns/elem (f32, "
+            f"{row['speedup_f32_vs_scalar']:.2f}x)"
+        )
+    sort_doc = doc["sort_small"]
+    print(f"  sort_small grain={sort_doc['grain']} insertion "
+          f"{sort_doc['insertion_ns_per_element']:.3f} ns/elem")
+    for name, row in sort_doc["kernels"].items():
+        print(
+            f"    {name:10s} {row['ns_per_element']:8.3f} ns/elem "
+            f"({row['speedup_vs_insertion']:.2f}x vs insertion)"
         )
 
 

@@ -31,6 +31,7 @@
 #include "core/parallel_merge.hpp"
 #include "core/sequential_merge.hpp"
 #include "kernels/kernels.hpp"
+#include "kernels/sort_network.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 #include "util/threading.hpp"
@@ -48,35 +49,16 @@ namespace detail {
 
 inline constexpr std::size_t kInsertionSortThreshold = 24;
 
-template <typename T, typename Comp, typename Instr>
-void insertion_sort(T* data, std::size_t n, Comp comp, Instr* instr) {
-  for (std::size_t i = 1; i < n; ++i) {
-    T value = std::move(data[i]);
-    std::size_t j = i;
-    while (j > 0) {
-      if constexpr (!std::is_same_v<Instr, NoInstrument>) {
-        if (instr) instr->compare();
-      }
-      if (!comp(value, data[j - 1])) break;
-      data[j] = std::move(data[j - 1]);
-      if constexpr (!std::is_same_v<Instr, NoInstrument>) {
-        if (instr) instr->move();
-      }
-      --j;
-    }
-    data[j] = std::move(value);
-    if constexpr (!std::is_same_v<Instr, NoInstrument>) {
-      if (instr) instr->move();
-    }
-  }
-}
-
 }  // namespace detail
 
 /// Bottom-up stable merge sort of [data, data+n) using caller-provided
 /// scratch of the same length. Runs of kInsertionSortThreshold are formed
-/// by insertion sort, then merged with doubling widths, ping-ponging
-/// between the two buffers; the result always ends in `data`.
+/// by kernels::sort_small_auto — branchless 8/16 sorting networks plus a
+/// kernel merge for the dispatch-certified key types, insertion sort for
+/// everything else and for instrumented calls (see
+/// kernels/sort_network.hpp) — then merged with doubling widths,
+/// ping-ponging between the two buffers; the result always ends in
+/// `data`.
 template <typename T, typename Comp = std::less<>,
           typename Instr = NoInstrument>
 void sequential_merge_sort(T* data, T* scratch, std::size_t n, Comp comp = {},
@@ -87,7 +69,7 @@ void sequential_merge_sort(T* data, T* scratch, std::size_t n, Comp comp = {},
        begin += detail::kInsertionSortThreshold) {
     const std::size_t len =
         std::min(detail::kInsertionSortThreshold, n - begin);
-    detail::insertion_sort(data + begin, len, comp, instr);
+    kernels::sort_small_auto(data + begin, len, comp, instr);
   }
 
   T* src = data;

@@ -70,6 +70,15 @@ struct SegmentedConfig {
   /// Segment length L in ELEMENTS; 0 = derive as (cache_bytes/elem)/3, the
   /// paper's L = C/3 rule.
   std::size_t segment_length = 0;
+  /// Copy wrapped ring windows into linear staging slabs so every segment
+  /// merge can take the dispatched vector kernel (a wrapped CyclicView
+  /// window otherwise falls back to the scalar path). Only engages when
+  /// the key/comparator pair is vector-eligible, a vector kernel is
+  /// selected and the run is uninstrumented; the copy costs O(L) extra
+  /// moves per wrapped segment, which the wider kernel more than repays
+  /// on vector-eligible keys (see docs/PERFORMANCE.md for the measured
+  /// tradeoff).
+  bool linearize_wrapped = true;
 
   template <typename T>
   std::size_t resolve_segment_length() const {
@@ -87,6 +96,11 @@ struct SegmentedStats {
   std::size_t segments = 0;
   std::size_t staged_a = 0;
   std::size_t staged_b = 0;
+  /// Ring windows copied into the linear slabs (0 when linearize_wrapped
+  /// is off, the merge is scalar anyway, or no window ever wrapped).
+  std::size_t linearized_windows = 0;
+  /// Elements those copies moved.
+  std::size_t linearized_elements = 0;
 };
 
 /// Algorithm 2: merges sorted [a, a+m) and [b, b+n) into [out, out+m+n)
@@ -110,6 +124,18 @@ SegmentedStats segmented_parallel_merge(const T* a, std::size_t m, const T* b,
   std::vector<T> ring_a(std::max<std::size_t>(L, 1));
   std::vector<T> ring_b(std::max<std::size_t>(L, 1));
   std::vector<T> seg_out(std::max<std::size_t>(L, 1));
+
+  // Ring-window linearization (tentpole c): when enabled and profitable,
+  // wrapped windows are copied into these slabs before step 2 so the
+  // segment merge always sees contiguous arrays. Decided once per run —
+  // the selected kernel cannot change mid-merge.
+  bool linearize = false;
+  if constexpr (kernels::use_vector_merge_v<const T*, const T*, T*, Comp>) {
+    linearize = config.linearize_wrapped && instr.empty() &&
+                kernels::is_vector_kernel(kernels::selected_kernel());
+  }
+  std::vector<T> lin_a(linearize ? std::max<std::size_t>(L, 1) : 0);
+  std::vector<T> lin_b(linearize ? std::max<std::size_t>(L, 1) : 0);
 
   std::size_t a_done = 0, b_done = 0;   // globally consumed
   std::size_t a_staged = 0, b_staged = 0;  // globally staged into rings
@@ -157,9 +183,31 @@ SegmentedStats segmented_parallel_merge(const T* a, std::size_t m, const T* b,
     // When a staged window does not wrap around its ring it is a plain
     // contiguous array, and the in-cache segment merge can take the
     // dispatched (possibly vector) kernel; a wrapped window stays on the
-    // CyclicView + scalar path. Same windows, same path, same output.
+    // CyclicView + scalar path unless linearization copies it flat.
+    // Same windows, same path, same output bytes either way.
     const T* flat_a = a_head + win_a <= L ? ring_a.data() + a_head : nullptr;
     const T* flat_b = b_head + win_b <= L ? ring_b.data() + b_head : nullptr;
+    if (linearize && (flat_a == nullptr || flat_b == nullptr)) {
+      obs::Span lin_span("spm.linearize", "len", seg_len);
+      if (flat_a == nullptr) {
+        const std::size_t first = L - a_head;  // [a_head, L) then the wrap
+        std::copy(ring_a.data() + a_head, ring_a.data() + L, lin_a.data());
+        std::copy(ring_a.data(), ring_a.data() + (win_a - first),
+                  lin_a.data() + first);
+        flat_a = lin_a.data();
+        ++stats.linearized_windows;
+        stats.linearized_elements += win_a;
+      }
+      if (flat_b == nullptr) {
+        const std::size_t first = L - b_head;
+        std::copy(ring_b.data() + b_head, ring_b.data() + L, lin_b.data());
+        std::copy(ring_b.data(), ring_b.data() + (win_b - first),
+                  lin_b.data() + first);
+        flat_b = lin_b.data();
+        ++stats.linearized_windows;
+        stats.linearized_elements += win_b;
+      }
+    }
 
     // --- Step 2: parallel partition + merge of this segment (Theorem 16:
     // the p start points depend only on the staged windows).

@@ -7,7 +7,8 @@
 
 #include "util/hw.hpp"
 
-#if MP_SIMD && (defined(MP_KERNELS_HAVE_SSE4) || defined(MP_KERNELS_HAVE_AVX2))
+#if MP_SIMD && (defined(MP_KERNELS_HAVE_SSE4) || defined(MP_KERNELS_HAVE_AVX2) || \
+                defined(MP_KERNELS_HAVE_AVX512))
 #include "kernels/simd_entry.hpp"
 #endif
 
@@ -37,6 +38,8 @@ const char* to_string(Kernel kernel) {
       return "sse4";
     case Kernel::kAvx2:
       return "avx2";
+    case Kernel::kAvx512:
+      return "avx512";
   }
   return "?";
 }
@@ -64,11 +67,20 @@ bool kernel_supported(Kernel kernel) {
 #else
       return false;
 #endif
+    case Kernel::kAvx512:
+#if MP_SIMD && defined(MP_KERNELS_HAVE_AVX512)
+      return cpu_features().avx512f && cpu_features().avx512bw;
+#else
+      return false;
+#endif
   }
   return false;
 }
 
 Kernel widest_supported() {
+  // kBranchless is deliberately absent: BENCH_5 measured it slower than
+  // scalar, so auto-dispatch never picks it (explicit override only).
+  if (kernel_supported(Kernel::kAvx512)) return Kernel::kAvx512;
   if (kernel_supported(Kernel::kAvx2)) return Kernel::kAvx2;
   if (kernel_supported(Kernel::kSse4)) return Kernel::kSse4;
   return Kernel::kScalar;
@@ -104,7 +116,7 @@ Kernel resolve_override(const char* value, std::string* warning) {
   if (!parsed) {
     if (warning) {
       *warning = "MP_MERGE_KERNEL='" + std::string(value) +
-                 "' is not a kernel name (scalar|branchless|sse4|avx2); "
+                 "' is not a kernel name (scalar|branchless|sse4|avx2|avx512); "
                  "using " +
                  to_string(widest_supported());
     }
@@ -125,6 +137,10 @@ std::size_t simd_loop_i32(Kernel kernel, const std::int32_t* a,
                           std::size_t m, const std::int32_t* b, std::size_t n,
                           std::size_t* a_pos, std::size_t* b_pos,
                           std::int32_t* out, std::size_t steps) {
+#if MP_SIMD && defined(MP_KERNELS_HAVE_AVX512)
+  if (kernel == Kernel::kAvx512)
+    return avx512_loop_i32(a, m, b, n, a_pos, b_pos, out, steps);
+#endif
 #if MP_SIMD && defined(MP_KERNELS_HAVE_AVX2)
   if (kernel == Kernel::kAvx2)
     return avx2_loop_i32(a, m, b, n, a_pos, b_pos, out, steps);
@@ -144,6 +160,10 @@ std::size_t simd_loop_u32(Kernel kernel, const std::uint32_t* a,
                           std::size_t m, const std::uint32_t* b, std::size_t n,
                           std::size_t* a_pos, std::size_t* b_pos,
                           std::uint32_t* out, std::size_t steps) {
+#if MP_SIMD && defined(MP_KERNELS_HAVE_AVX512)
+  if (kernel == Kernel::kAvx512)
+    return avx512_loop_u32(a, m, b, n, a_pos, b_pos, out, steps);
+#endif
 #if MP_SIMD && defined(MP_KERNELS_HAVE_AVX2)
   if (kernel == Kernel::kAvx2)
     return avx2_loop_u32(a, m, b, n, a_pos, b_pos, out, steps);
@@ -161,6 +181,10 @@ std::size_t simd_loop_i64(Kernel kernel, const std::int64_t* a,
                           std::size_t m, const std::int64_t* b, std::size_t n,
                           std::size_t* a_pos, std::size_t* b_pos,
                           std::int64_t* out, std::size_t steps) {
+#if MP_SIMD && defined(MP_KERNELS_HAVE_AVX512)
+  if (kernel == Kernel::kAvx512)
+    return avx512_loop_i64(a, m, b, n, a_pos, b_pos, out, steps);
+#endif
 #if MP_SIMD && defined(MP_KERNELS_HAVE_AVX2)
   if (kernel == Kernel::kAvx2)
     return avx2_loop_i64(a, m, b, n, a_pos, b_pos, out, steps);
@@ -178,6 +202,10 @@ std::size_t simd_loop_u64(Kernel kernel, const std::uint64_t* a,
                           std::size_t m, const std::uint64_t* b, std::size_t n,
                           std::size_t* a_pos, std::size_t* b_pos,
                           std::uint64_t* out, std::size_t steps) {
+#if MP_SIMD && defined(MP_KERNELS_HAVE_AVX512)
+  if (kernel == Kernel::kAvx512)
+    return avx512_loop_u64(a, m, b, n, a_pos, b_pos, out, steps);
+#endif
 #if MP_SIMD && defined(MP_KERNELS_HAVE_AVX2)
   if (kernel == Kernel::kAvx2)
     return avx2_loop_u64(a, m, b, n, a_pos, b_pos, out, steps);
@@ -185,6 +213,48 @@ std::size_t simd_loop_u64(Kernel kernel, const std::uint64_t* a,
 #if MP_SIMD && defined(MP_KERNELS_HAVE_SSE4)
   if (kernel == Kernel::kSse4)
     return sse4_loop_u64(a, m, b, n, a_pos, b_pos, out, steps);
+#endif
+  (void)kernel, (void)a, (void)m, (void)b, (void)n, (void)a_pos, (void)b_pos,
+      (void)out, (void)steps;
+  return 0;
+}
+
+std::size_t simd_loop_f32(Kernel kernel, const float* a,
+                          std::size_t m, const float* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          float* out, std::size_t steps) {
+#if MP_SIMD && defined(MP_KERNELS_HAVE_AVX512)
+  if (kernel == Kernel::kAvx512)
+    return avx512_loop_f32(a, m, b, n, a_pos, b_pos, out, steps);
+#endif
+#if MP_SIMD && defined(MP_KERNELS_HAVE_AVX2)
+  if (kernel == Kernel::kAvx2)
+    return avx2_loop_f32(a, m, b, n, a_pos, b_pos, out, steps);
+#endif
+#if MP_SIMD && defined(MP_KERNELS_HAVE_SSE4)
+  if (kernel == Kernel::kSse4)
+    return sse4_loop_f32(a, m, b, n, a_pos, b_pos, out, steps);
+#endif
+  (void)kernel, (void)a, (void)m, (void)b, (void)n, (void)a_pos, (void)b_pos,
+      (void)out, (void)steps;
+  return 0;
+}
+
+std::size_t simd_loop_f64(Kernel kernel, const double* a,
+                          std::size_t m, const double* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          double* out, std::size_t steps) {
+#if MP_SIMD && defined(MP_KERNELS_HAVE_AVX512)
+  if (kernel == Kernel::kAvx512)
+    return avx512_loop_f64(a, m, b, n, a_pos, b_pos, out, steps);
+#endif
+#if MP_SIMD && defined(MP_KERNELS_HAVE_AVX2)
+  if (kernel == Kernel::kAvx2)
+    return avx2_loop_f64(a, m, b, n, a_pos, b_pos, out, steps);
+#endif
+#if MP_SIMD && defined(MP_KERNELS_HAVE_SSE4)
+  if (kernel == Kernel::kSse4)
+    return sse4_loop_f64(a, m, b, n, a_pos, b_pos, out, steps);
 #endif
   (void)kernel, (void)a, (void)m, (void)b, (void)n, (void)a_pos, (void)b_pos,
       (void)out, (void)steps;

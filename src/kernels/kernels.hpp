@@ -24,19 +24,25 @@
 ///
 /// Dispatch layers (docs/PERFORMANCE.md):
 ///   - compile time: use_vector_merge_v — the vector path exists only for
-///     32/64-bit integral keys under std::less with contiguous iterators.
-///     Payload merges (KeyedRecord), custom comparators, floats (equal
-///     floats need not be bitwise identical: -0.0/+0.0, and NaN breaks
-///     strict weak order) and ring-buffer views stay on the scalar
-///     kernel, which preserves A-priority stability by construction.
+///     32/64-bit integral keys under std::less with contiguous iterators,
+///     plus float/double keys under the opt-in TotalOrderLess comparator
+///     (the IEEE totalOrder sign-flip bijection makes equal keys bitwise
+///     identical again, which is what the byte-exactness proof needs).
+///     Payload merges (KeyedRecord), custom comparators, floats under
+///     plain std::less (equal floats need not be bitwise identical:
+///     -0.0/+0.0, and NaN breaks strict weak order) and ring-buffer views
+///     stay on the scalar kernel, which preserves A-priority stability by
+///     construction.
 ///   - build time: -DMERGEPATH_SIMD=OFF compiles the ISA TUs out
 ///     (MP_SIMD=0), mirroring the TRACE/FAULT gates.
 ///   - run time: cpuid (util/hw cpu_features()) picks the widest
-///     supported kernel; MP_MERGE_KERNEL=scalar|branchless|sse4|avx2
-///     or the harness/tool --kernel flag overrides it.
+///     supported kernel; MP_MERGE_KERNEL=
+///     scalar|branchless|sse4|avx2|avx512 or the harness/tool --kernel
+///     flag overrides it.
 ///   - call time: instrumented merges (instr != nullptr) stay scalar so
 ///     PRAM op counts keep meaning one compare/move per path step.
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -62,17 +68,34 @@ inline constexpr bool kSimdCompiledIn = MP_SIMD != 0;
 /// The dispatchable per-lane merge kernels, narrowest to widest.
 enum class Kernel : std::uint8_t {
   kScalar = 0,   ///< merge_steps(): branchy, one element per iteration
-  kBranchless,   ///< branchless_merge_bounded() prefix + scalar tail
+  /// branchless_merge_bounded() prefix + scalar tail. Demoted: BENCH_5
+  /// measured it at 0.89-0.90x *slower* than scalar on the uniform
+  /// ablation inputs (the cmov arithmetic costs more than the branch
+  /// mispredicts it saves on sorted-random data), so auto-dispatch never
+  /// selects it — it stays reachable via MP_MERGE_KERNEL/--kernel as the
+  /// honest branch-cost ablation baseline.
+  kBranchless,
   kSse4,         ///< 4-wide (32-bit) / 2-wide (64-bit), needs SSE4.2
   kAvx2,         ///< 8-wide (32-bit) / 4-wide (64-bit), needs AVX2
+  kAvx512,       ///< 16-wide (32-bit) / 8-wide (64-bit), needs AVX-512 F+BW
 };
 
 inline constexpr Kernel kAllKernels[] = {Kernel::kScalar, Kernel::kBranchless,
-                                         Kernel::kSse4, Kernel::kAvx2};
+                                         Kernel::kSse4, Kernel::kAvx2,
+                                         Kernel::kAvx512};
+
+/// True for the vector (width > 1) kernels — the ones whose selection
+/// makes the wrapped-ring linearization copy in segmented_merge worth
+/// paying for.
+inline constexpr bool is_vector_kernel(Kernel kernel) {
+  return kernel == Kernel::kSse4 || kernel == Kernel::kAvx2 ||
+         kernel == Kernel::kAvx512;
+}
 
 const char* to_string(Kernel kernel);
 
-/// "scalar|branchless|sse4|avx2" -> Kernel; anything else -> nullopt.
+/// "scalar|branchless|sse4|avx2|avx512" -> Kernel; anything else ->
+/// nullopt.
 std::optional<Kernel> parse_kernel(std::string_view name);
 
 /// Whether `kernel` can actually run: compiled in AND the host ISA has it.
@@ -94,6 +117,51 @@ bool set_kernel(Kernel kernel);
 
 /// One-line banner: "kernel avx2 (isa sse4.2+avx2)".
 std::string kernel_banner();
+
+namespace detail {
+
+/// The IEEE-754 totalOrder sign-flip bijection: maps float bit patterns
+/// to unsigned integers whose < order is exactly totalOrder(x, y) —
+/// positive values get the sign bit set (shifting them above every
+/// negative), negative values are bitwise complemented (reversing their
+/// descending bit-pattern order). -NaN < -inf < ... < -0.0 < +0.0 < ...
+/// < +inf < +NaN, with NaN payloads ordered by significand. The map is a
+/// bijection, so totalOrder-equal keys are bitwise identical — the
+/// property that lets float merges ride the integer vector kernels.
+inline std::uint32_t total_order_key(float x) {
+  const auto bits = std::bit_cast<std::uint32_t>(x);
+  const auto mask =
+      static_cast<std::uint32_t>(static_cast<std::int32_t>(bits) >> 31);
+  return bits ^ (mask | 0x80000000u);
+}
+inline std::uint64_t total_order_key(double x) {
+  const auto bits = std::bit_cast<std::uint64_t>(x);
+  const auto mask =
+      static_cast<std::uint64_t>(static_cast<std::int64_t>(bits) >> 63);
+  return bits ^ (mask | 0x8000000000000000ull);
+}
+
+}  // namespace detail
+
+/// Opt-in total-order comparator: IEEE totalOrder for float/double
+/// (strict weak — in fact total — even with NaNs and signed zeros, which
+/// plain std::less is not), plain < for every other type. Merges and
+/// small sorts invoked with this comparator on contiguous float/double
+/// keys are admitted to the integer vector kernels via the sign-flip
+/// bijection; everything about the byte-exactness contract carries over
+/// because totalOrder-equal keys are bitwise identical.
+struct TotalOrderLess {
+  bool operator()(float x, float y) const {
+    return detail::total_order_key(x) < detail::total_order_key(y);
+  }
+  bool operator()(double x, double y) const {
+    return detail::total_order_key(x) < detail::total_order_key(y);
+  }
+  template <typename T>
+  bool operator()(const T& x, const T& y) const {
+    return x < y;
+  }
+};
 
 namespace detail {
 
@@ -124,6 +192,15 @@ std::size_t simd_loop_u64(Kernel kernel, const std::uint64_t* a,
                           std::size_t m, const std::uint64_t* b, std::size_t n,
                           std::size_t* a_pos, std::size_t* b_pos,
                           std::uint64_t* out, std::size_t steps);
+// Total-order float loops: the TUs apply the sign-flip bijection on load,
+// run the unsigned integer window merge, and invert it before store, so
+// the output bytes equal the scalar kernel's under TotalOrderLess.
+std::size_t simd_loop_f32(Kernel kernel, const float* a, std::size_t m,
+                          const float* b, std::size_t n, std::size_t* a_pos,
+                          std::size_t* b_pos, float* out, std::size_t steps);
+std::size_t simd_loop_f64(Kernel kernel, const double* a, std::size_t m,
+                          const double* b, std::size_t n, std::size_t* a_pos,
+                          std::size_t* b_pos, double* out, std::size_t steps);
 
 /// Routes a typed pointer merge to the matching exported loop. The
 /// reinterpret_casts are between same-size integer types; the TUs load
@@ -132,7 +209,11 @@ template <typename T>
 std::size_t simd_loop(Kernel kernel, const T* a, std::size_t m, const T* b,
                       std::size_t n, std::size_t* a_pos, std::size_t* b_pos,
                       T* out, std::size_t steps) {
-  if constexpr (sizeof(T) == 4) {
+  if constexpr (std::is_same_v<T, float>) {
+    return simd_loop_f32(kernel, a, m, b, n, a_pos, b_pos, out, steps);
+  } else if constexpr (std::is_same_v<T, double>) {
+    return simd_loop_f64(kernel, a, m, b, n, a_pos, b_pos, out, steps);
+  } else if constexpr (sizeof(T) == 4) {
     if constexpr (std::is_signed_v<T>) {
       return simd_loop_i32(kernel, reinterpret_cast<const std::int32_t*>(a),
                            m, reinterpret_cast<const std::int32_t*>(b), n,
@@ -161,23 +242,36 @@ std::size_t simd_loop(Kernel kernel, const T* a, std::size_t m, const T* b,
 
 }  // namespace detail
 
-/// Compile-time gate of the vector path. Evaluates to true only for
-/// bare 32/64-bit integral keys (bool excluded) merged with std::less
-/// through contiguous iterators on all three sides — exactly the cases
-/// where "sorted W smallest of the window" is provably byte-identical to
-/// the scalar kernel and no payload can be reordered across equal keys.
+/// Compile-time gate of the vector path. Evaluates to true only for the
+/// byte-exactness-provable cases, through contiguous iterators on all
+/// three sides:
+///   - bare 32/64-bit integral keys (bool excluded) under std::less, and
+///   - float/double keys under the opt-in TotalOrderLess comparator (the
+///     total-order float mode: the sign-flip bijection makes equal keys
+///     bitwise identical, restoring the integer argument).
+/// Everything else — payload records, custom comparators, floats under
+/// std::less — stays on the scalar kernel, where no payload can be
+/// reordered across equal keys.
 template <typename IterA, typename IterB, typename OutIter, typename Comp>
 inline constexpr bool use_vector_merge_v = [] {
   if constexpr (std::contiguous_iterator<IterA> &&
                 std::contiguous_iterator<IterB> &&
                 std::contiguous_iterator<OutIter>) {
     using T = std::remove_cv_t<std::iter_value_t<OutIter>>;
-    return std::is_integral_v<T> && !std::is_same_v<T, bool> &&
-           (sizeof(T) == 4 || sizeof(T) == 8) &&
-           (std::is_same_v<Comp, std::less<>> ||
-            std::is_same_v<Comp, std::less<T>>) &&
-           std::is_same_v<std::remove_cv_t<std::iter_value_t<IterA>>, T> &&
-           std::is_same_v<std::remove_cv_t<std::iter_value_t<IterB>>, T>;
+    if constexpr (!std::is_same_v<std::remove_cv_t<std::iter_value_t<IterA>>,
+                                  T> ||
+                  !std::is_same_v<std::remove_cv_t<std::iter_value_t<IterB>>,
+                                  T>) {
+      return false;
+    } else if constexpr (std::is_same_v<T, float> ||
+                         std::is_same_v<T, double>) {
+      return std::is_same_v<Comp, TotalOrderLess>;
+    } else {
+      return std::is_integral_v<T> && !std::is_same_v<T, bool> &&
+             (sizeof(T) == 4 || sizeof(T) == 8) &&
+             (std::is_same_v<Comp, std::less<>> ||
+              std::is_same_v<Comp, std::less<T>>);
+    }
   } else {
     return false;
   }

@@ -143,6 +143,79 @@ struct Avx2Step64 {
   }
 };
 
+// ----------------------------------------------------------------- float
+// Total-order float mode: sign-flip bijection on load (non-negative:
+// flip the sign bit; negative: flip all bits), unsigned window merge on
+// the keys, inverse map before the store. Unsigned order on keys equals
+// IEEE totalOrder on the floats; see merge_sse4.cpp for the scalar-side
+// contract.
+
+inline __m256i f32_to_key(__m256i v) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  return _mm256_xor_si256(v, _mm256_or_si256(_mm256_srai_epi32(v, 31), bias));
+}
+inline __m256i f32_from_key(__m256i k) {
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  const __m256i inv =
+      _mm256_xor_si256(_mm256_srai_epi32(k, 31), _mm256_set1_epi32(-1));
+  return _mm256_xor_si256(k, _mm256_or_si256(inv, bias));
+}
+
+// AVX2 has no 64-bit arithmetic shift; cmpgt against zero builds the
+// all-ones-when-negative lane mask instead.
+inline __m256i f64_to_key(__m256i v) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m256i mask = _mm256_cmpgt_epi64(_mm256_setzero_si256(), v);
+  return _mm256_xor_si256(v, _mm256_or_si256(mask, bias));
+}
+inline __m256i f64_from_key(__m256i k) {
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m256i inv =
+      _mm256_xor_si256(_mm256_cmpgt_epi64(_mm256_setzero_si256(), k),
+                       _mm256_set1_epi32(-1));
+  return _mm256_xor_si256(k, _mm256_or_si256(inv, bias));
+}
+
+struct Avx2StepF32 {
+  static constexpr std::size_t kWidth = 8;
+  static void prefetch(const float* p) { prefetch_t0(p); }
+  static std::size_t step(const float* pa, const float* pb, float* po) {
+    const __m256i va = f32_to_key(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa)));
+    const __m256i vb = f32_to_key(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb)));
+    const __m256i vbr = reverse_epi32(vb);
+    const __m256i lo = MinMaxU32::mn(va, vbr);
+    const int take_a = _mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(lo, va)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(po),
+                        f32_from_key(sort_bitonic_epi32<MinMaxU32>(lo)));
+    return static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(take_a)));
+  }
+};
+
+struct Avx2StepF64 {
+  static constexpr std::size_t kWidth = 4;
+  static void prefetch(const double* p) { prefetch_t0(p); }
+  static std::size_t step(const double* pa, const double* pb, double* po) {
+    const __m256i va = f64_to_key(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pa)));
+    const __m256i vb = f64_to_key(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pb)));
+    const __m256i vbr = reverse_epi64(vb);
+    const int gt_mask = _mm256_movemask_pd(_mm256_castsi256_pd(
+        CmpU64::gt(va, vbr)));
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(po),
+        f64_from_key(sort_bitonic_epi64<CmpU64>(min_epi64<CmpU64>(va, vbr))));
+    return kWidth - static_cast<std::size_t>(
+                        __builtin_popcount(static_cast<unsigned>(gt_mask)));
+  }
+};
+
 }  // namespace
 
 std::size_t avx2_loop_i32(const std::int32_t* a, std::size_t m,
@@ -175,6 +248,22 @@ std::size_t avx2_loop_u64(const std::uint64_t* a, std::size_t m,
                           std::uint64_t* out, std::size_t steps) {
   return bounded_vector_merge<Avx2Step64<std::uint64_t, CmpU64>>(
       a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t avx2_loop_f32(const float* a, std::size_t m,
+                          const float* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          float* out, std::size_t steps) {
+  return bounded_vector_merge<Avx2StepF32>(a, m, b, n, a_pos, b_pos, out,
+                                           steps);
+}
+
+std::size_t avx2_loop_f64(const double* a, std::size_t m,
+                          const double* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          double* out, std::size_t steps) {
+  return bounded_vector_merge<Avx2StepF64>(a, m, b, n, a_pos, b_pos, out,
+                                           steps);
 }
 
 }  // namespace mp::kernels::detail

@@ -1,0 +1,250 @@
+// merge_avx512.cpp — AVX-512 vector merge loops: 16-wide for 32-bit
+// keys, 8-wide for 64-bit. Compiled with -mavx512f -mavx512bw (bench and
+// docs call this the "avx512" kernel); reached only through
+// kernels::detail dispatch after cpuid reported both the F and BW
+// subsets.
+//
+// Same anti-diagonal scheme as merge_avx2.cpp — take count k = |{t :
+// a[i+t] <= b[j+W-1-t]}| over the reversed B window, then a
+// log2(W)-level bitonic exchange network over lo = min(va, reverse(vb))
+// — with two AVX-512 twists:
+//   * the take count comes straight from a cmple mask register (the
+//     predicate is monotone across lanes, so popcount(mask) is the Merge
+//     Path split of the 2W window; no cmpeq/movemask detour), and
+//   * exchange levels blend through mask registers
+//     (_mm512_mask_mov_epi32) instead of blend immediates.
+// Distances 8/4 (32-bit) and 4/2 (64-bit) move whole 128-bit groups, so
+// they use shuffle_i32x4/i64x2; the in-lane distances use shuffle_epi32.
+// Equal keys compare with <= so ties are taken from A — the same
+// A-priority rule as merge_steps().
+//
+// The f32/f64 entry points implement the total-order float mode: the
+// sign-flip bijection runs on load (AVX-512 has the 64-bit arithmetic
+// shift the narrower ISAs lack), the window merge runs on unsigned keys,
+// and the inverse map runs before the store.
+
+#include "kernels/simd_entry.hpp"
+
+#include <immintrin.h>
+
+#include "kernels/simd_loop_common.hpp"
+
+namespace mp::kernels::detail {
+namespace {
+
+inline void prefetch_t0(const void* p) {
+  _mm_prefetch(static_cast<const char*>(p), _MM_HINT_T0);
+}
+
+// ---------------------------------------------------------------- 32-bit
+
+struct OpsI32 {
+  static __m512i mn(__m512i x, __m512i y) { return _mm512_min_epi32(x, y); }
+  static __m512i mx(__m512i x, __m512i y) { return _mm512_max_epi32(x, y); }
+  static __mmask16 le(__m512i x, __m512i y) {
+    return _mm512_cmple_epi32_mask(x, y);
+  }
+};
+struct OpsU32 {
+  static __m512i mn(__m512i x, __m512i y) { return _mm512_min_epu32(x, y); }
+  static __m512i mx(__m512i x, __m512i y) { return _mm512_max_epu32(x, y); }
+  static __mmask16 le(__m512i x, __m512i y) {
+    return _mm512_cmple_epu32_mask(x, y);
+  }
+};
+
+inline __m512i reverse_epi32(__m512i v) {
+  return _mm512_permutexvar_epi32(
+      _mm512_setr_epi32(15, 14, 13, 12, 11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 1, 0),
+      v);
+}
+
+// Ascending sort of a 16-lane bitonic sequence: exchanges at distances
+// 8, 4, 2, 1. Each level pairs lane t with lane t^dist; the mask marks
+// the upper lane of each pair (t & dist != 0), which keeps the max.
+template <typename Ops>
+inline __m512i sort_bitonic_epi32(__m512i v) {
+  __m512i sw = _mm512_shuffle_i32x4(v, v, _MM_SHUFFLE(1, 0, 3, 2));  // d=8
+  v = _mm512_mask_mov_epi32(Ops::mn(v, sw), 0xFF00, Ops::mx(v, sw));
+  sw = _mm512_shuffle_i32x4(v, v, _MM_SHUFFLE(2, 3, 0, 1));  // d=4
+  v = _mm512_mask_mov_epi32(Ops::mn(v, sw), 0xF0F0, Ops::mx(v, sw));
+  sw = _mm512_shuffle_epi32(v, _MM_PERM_BADC);  // d=2
+  v = _mm512_mask_mov_epi32(Ops::mn(v, sw), 0xCCCC, Ops::mx(v, sw));
+  sw = _mm512_shuffle_epi32(v, _MM_PERM_CDAB);  // d=1
+  v = _mm512_mask_mov_epi32(Ops::mn(v, sw), 0xAAAA, Ops::mx(v, sw));
+  return v;
+}
+
+template <typename Key, typename Ops>
+struct Avx512Step32 {
+  static constexpr std::size_t kWidth = 16;
+  static void prefetch(const Key* p) { prefetch_t0(p); }
+  static std::size_t step(const Key* pa, const Key* pb, Key* po) {
+    const __m512i va = _mm512_loadu_si512(pa);
+    const __m512i vb = _mm512_loadu_si512(pb);
+    const __m512i vbr = reverse_epi32(vb);
+    const __mmask16 take_a = Ops::le(va, vbr);
+    _mm512_storeu_si512(po, sort_bitonic_epi32<Ops>(Ops::mn(va, vbr)));
+    return static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(take_a)));
+  }
+};
+
+// ---------------------------------------------------------------- 64-bit
+
+struct OpsI64 {
+  static __m512i mn(__m512i x, __m512i y) { return _mm512_min_epi64(x, y); }
+  static __m512i mx(__m512i x, __m512i y) { return _mm512_max_epi64(x, y); }
+  static __mmask8 le(__m512i x, __m512i y) {
+    return _mm512_cmple_epi64_mask(x, y);
+  }
+};
+struct OpsU64 {
+  static __m512i mn(__m512i x, __m512i y) { return _mm512_min_epu64(x, y); }
+  static __m512i mx(__m512i x, __m512i y) { return _mm512_max_epu64(x, y); }
+  static __mmask8 le(__m512i x, __m512i y) {
+    return _mm512_cmple_epu64_mask(x, y);
+  }
+};
+
+inline __m512i reverse_epi64(__m512i v) {
+  return _mm512_permutexvar_epi64(_mm512_setr_epi64(7, 6, 5, 4, 3, 2, 1, 0),
+                                  v);
+}
+
+// Ascending sort of an 8-lane bitonic sequence: distances 4, 2, 1.
+template <typename Ops>
+inline __m512i sort_bitonic_epi64(__m512i v) {
+  __m512i sw = _mm512_shuffle_i64x2(v, v, _MM_SHUFFLE(1, 0, 3, 2));  // d=4
+  v = _mm512_mask_mov_epi64(Ops::mn(v, sw), 0xF0, Ops::mx(v, sw));
+  sw = _mm512_shuffle_i64x2(v, v, _MM_SHUFFLE(2, 3, 0, 1));  // d=2
+  v = _mm512_mask_mov_epi64(Ops::mn(v, sw), 0xCC, Ops::mx(v, sw));
+  sw = _mm512_shuffle_epi32(v, _MM_PERM_BADC);  // d=1 (swap 64-bit halves)
+  v = _mm512_mask_mov_epi64(Ops::mn(v, sw), 0xAA, Ops::mx(v, sw));
+  return v;
+}
+
+template <typename Key, typename Ops>
+struct Avx512Step64 {
+  static constexpr std::size_t kWidth = 8;
+  static void prefetch(const Key* p) { prefetch_t0(p); }
+  static std::size_t step(const Key* pa, const Key* pb, Key* po) {
+    const __m512i va = _mm512_loadu_si512(pa);
+    const __m512i vb = _mm512_loadu_si512(pb);
+    const __m512i vbr = reverse_epi64(vb);
+    const __mmask8 take_a = Ops::le(va, vbr);
+    _mm512_storeu_si512(po, sort_bitonic_epi64<Ops>(Ops::mn(va, vbr)));
+    return static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(take_a)));
+  }
+};
+
+// ----------------------------------------------------------------- float
+
+inline __m512i f32_to_key(__m512i v) {
+  const __m512i bias = _mm512_set1_epi32(static_cast<int>(0x80000000u));
+  return _mm512_xor_si512(v,
+                          _mm512_or_si512(_mm512_srai_epi32(v, 31), bias));
+}
+inline __m512i f32_from_key(__m512i k) {
+  const __m512i bias = _mm512_set1_epi32(static_cast<int>(0x80000000u));
+  const __m512i inv =
+      _mm512_xor_si512(_mm512_srai_epi32(k, 31), _mm512_set1_epi32(-1));
+  return _mm512_xor_si512(k, _mm512_or_si512(inv, bias));
+}
+
+inline __m512i f64_to_key(__m512i v) {
+  const __m512i bias = _mm512_set1_epi64(
+      static_cast<long long>(0x8000000000000000ULL));
+  return _mm512_xor_si512(v,
+                          _mm512_or_si512(_mm512_srai_epi64(v, 63), bias));
+}
+inline __m512i f64_from_key(__m512i k) {
+  const __m512i bias = _mm512_set1_epi64(
+      static_cast<long long>(0x8000000000000000ULL));
+  const __m512i inv =
+      _mm512_xor_si512(_mm512_srai_epi64(k, 63), _mm512_set1_epi32(-1));
+  return _mm512_xor_si512(k, _mm512_or_si512(inv, bias));
+}
+
+struct Avx512StepF32 {
+  static constexpr std::size_t kWidth = 16;
+  static void prefetch(const float* p) { prefetch_t0(p); }
+  static std::size_t step(const float* pa, const float* pb, float* po) {
+    const __m512i va = f32_to_key(_mm512_loadu_si512(pa));
+    const __m512i vb = f32_to_key(_mm512_loadu_si512(pb));
+    const __m512i vbr = reverse_epi32(vb);
+    const __mmask16 take_a = OpsU32::le(va, vbr);
+    _mm512_storeu_si512(
+        po, f32_from_key(sort_bitonic_epi32<OpsU32>(OpsU32::mn(va, vbr))));
+    return static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(take_a)));
+  }
+};
+
+struct Avx512StepF64 {
+  static constexpr std::size_t kWidth = 8;
+  static void prefetch(const double* p) { prefetch_t0(p); }
+  static std::size_t step(const double* pa, const double* pb, double* po) {
+    const __m512i va = f64_to_key(_mm512_loadu_si512(pa));
+    const __m512i vb = f64_to_key(_mm512_loadu_si512(pb));
+    const __m512i vbr = reverse_epi64(vb);
+    const __mmask8 take_a = OpsU64::le(va, vbr);
+    _mm512_storeu_si512(
+        po, f64_from_key(sort_bitonic_epi64<OpsU64>(OpsU64::mn(va, vbr))));
+    return static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(take_a)));
+  }
+};
+
+}  // namespace
+
+std::size_t avx512_loop_i32(const std::int32_t* a, std::size_t m,
+                            const std::int32_t* b, std::size_t n,
+                            std::size_t* a_pos, std::size_t* b_pos,
+                            std::int32_t* out, std::size_t steps) {
+  return bounded_vector_merge<Avx512Step32<std::int32_t, OpsI32>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t avx512_loop_u32(const std::uint32_t* a, std::size_t m,
+                            const std::uint32_t* b, std::size_t n,
+                            std::size_t* a_pos, std::size_t* b_pos,
+                            std::uint32_t* out, std::size_t steps) {
+  return bounded_vector_merge<Avx512Step32<std::uint32_t, OpsU32>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t avx512_loop_i64(const std::int64_t* a, std::size_t m,
+                            const std::int64_t* b, std::size_t n,
+                            std::size_t* a_pos, std::size_t* b_pos,
+                            std::int64_t* out, std::size_t steps) {
+  return bounded_vector_merge<Avx512Step64<std::int64_t, OpsI64>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t avx512_loop_u64(const std::uint64_t* a, std::size_t m,
+                            const std::uint64_t* b, std::size_t n,
+                            std::size_t* a_pos, std::size_t* b_pos,
+                            std::uint64_t* out, std::size_t steps) {
+  return bounded_vector_merge<Avx512Step64<std::uint64_t, OpsU64>>(
+      a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t avx512_loop_f32(const float* a, std::size_t m,
+                            const float* b, std::size_t n,
+                            std::size_t* a_pos, std::size_t* b_pos,
+                            float* out, std::size_t steps) {
+  return bounded_vector_merge<Avx512StepF32>(a, m, b, n, a_pos, b_pos, out,
+                                             steps);
+}
+
+std::size_t avx512_loop_f64(const double* a, std::size_t m,
+                            const double* b, std::size_t n,
+                            std::size_t* a_pos, std::size_t* b_pos,
+                            double* out, std::size_t steps) {
+  return bounded_vector_merge<Avx512StepF64>(a, m, b, n, a_pos, b_pos, out,
+                                             steps);
+}
+
+}  // namespace mp::kernels::detail

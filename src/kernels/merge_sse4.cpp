@@ -109,6 +109,82 @@ struct Sse4Step64 {
   }
 };
 
+// ----------------------------------------------------------------- float
+// Total-order float mode: map IEEE bit patterns through the sign-flip
+// bijection (non-negative: flip the sign bit; negative: flip all bits) so
+// unsigned integer order on the keys equals IEEE totalOrder on the
+// floats, run the unsigned window merge, invert before the store. The
+// map is bijective, so byte-exactness vs the scalar TotalOrderLess
+// kernel carries over from the integer argument.
+
+inline __m128i f32_to_key(__m128i v) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  return _mm_xor_si128(v, _mm_or_si128(_mm_srai_epi32(v, 31), bias));
+}
+inline __m128i f32_from_key(__m128i k) {
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i inv =
+      _mm_xor_si128(_mm_srai_epi32(k, 31), _mm_set1_epi32(-1));
+  return _mm_xor_si128(k, _mm_or_si128(inv, bias));
+}
+
+// No 64-bit arithmetic shift below AVX-512: cmpgt against zero yields the
+// same all-ones-when-negative lane mask (pcmpgtq is SSE4.2).
+inline __m128i f64_to_key(__m128i v) {
+  const __m128i bias =
+      _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m128i mask = _mm_cmpgt_epi64(_mm_setzero_si128(), v);
+  return _mm_xor_si128(v, _mm_or_si128(mask, bias));
+}
+inline __m128i f64_from_key(__m128i k) {
+  const __m128i bias =
+      _mm_set1_epi64x(static_cast<long long>(0x8000000000000000ULL));
+  const __m128i inv = _mm_xor_si128(_mm_cmpgt_epi64(_mm_setzero_si128(), k),
+                                    _mm_set1_epi32(-1));
+  return _mm_xor_si128(k, _mm_or_si128(inv, bias));
+}
+
+struct Sse4StepF32 {
+  static constexpr std::size_t kWidth = 4;
+  static void prefetch(const float* p) { prefetch_t0(p); }
+  static std::size_t step(const float* pa, const float* pb, float* po) {
+    const __m128i va =
+        f32_to_key(_mm_loadu_si128(reinterpret_cast<const __m128i*>(pa)));
+    const __m128i vb =
+        f32_to_key(_mm_loadu_si128(reinterpret_cast<const __m128i*>(pb)));
+    const __m128i vbr = reverse_epi32(vb);
+    const __m128i lo = MinMaxU32::mn(va, vbr);
+    const int take_a =
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(lo, va)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(po),
+                     f32_from_key(sort_bitonic_epi32<MinMaxU32>(lo)));
+    return static_cast<std::size_t>(
+        __builtin_popcount(static_cast<unsigned>(take_a)));
+  }
+};
+
+struct Sse4StepF64 {
+  static constexpr std::size_t kWidth = 2;
+  static void prefetch(const double* p) { prefetch_t0(p); }
+  static std::size_t step(const double* pa, const double* pb, double* po) {
+    const __m128i va =
+        f64_to_key(_mm_loadu_si128(reinterpret_cast<const __m128i*>(pa)));
+    const __m128i vb =
+        f64_to_key(_mm_loadu_si128(reinterpret_cast<const __m128i*>(pb)));
+    const __m128i vbr = reverse_epi64(vb);
+    const int gt_mask =
+        _mm_movemask_pd(_mm_castsi128_pd(CmpU64::gt(va, vbr)));
+    const __m128i lo = min_epi64<CmpU64>(va, vbr);
+    const __m128i sw = reverse_epi64(lo);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(po),
+                     f64_from_key(_mm_blend_epi16(min_epi64<CmpU64>(lo, sw),
+                                                  max_epi64<CmpU64>(lo, sw),
+                                                  0xF0)));
+    return kWidth - static_cast<std::size_t>(
+                        __builtin_popcount(static_cast<unsigned>(gt_mask)));
+  }
+};
+
 }  // namespace
 
 std::size_t sse4_loop_i32(const std::int32_t* a, std::size_t m,
@@ -141,6 +217,22 @@ std::size_t sse4_loop_u64(const std::uint64_t* a, std::size_t m,
                           std::uint64_t* out, std::size_t steps) {
   return bounded_vector_merge<Sse4Step64<std::uint64_t, CmpU64>>(
       a, m, b, n, a_pos, b_pos, out, steps);
+}
+
+std::size_t sse4_loop_f32(const float* a, std::size_t m,
+                          const float* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          float* out, std::size_t steps) {
+  return bounded_vector_merge<Sse4StepF32>(a, m, b, n, a_pos, b_pos, out,
+                                           steps);
+}
+
+std::size_t sse4_loop_f64(const double* a, std::size_t m,
+                          const double* b, std::size_t n,
+                          std::size_t* a_pos, std::size_t* b_pos,
+                          double* out, std::size_t steps) {
+  return bounded_vector_merge<Sse4StepF64>(a, m, b, n, a_pos, b_pos, out,
+                                           steps);
 }
 
 }  // namespace mp::kernels::detail

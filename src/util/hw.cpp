@@ -70,6 +70,8 @@ CpuFeatures probe_cpu() {
   __builtin_cpu_init();
   features.sse42 = __builtin_cpu_supports("sse4.2") != 0;
   features.avx2 = __builtin_cpu_supports("avx2") != 0;
+  features.avx512f = __builtin_cpu_supports("avx512f") != 0;
+  features.avx512bw = __builtin_cpu_supports("avx512bw") != 0;
   // Invariant TSC lives in the extended power-management leaf, which
   // __builtin_cpu_supports does not expose.
   unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
@@ -115,10 +117,15 @@ HostInfo paper_machine() {
 }
 
 std::string isa_string(const CpuFeatures& features) {
-  if (features.sse42 && features.avx2) return "sse4.2+avx2";
-  if (features.avx2) return "avx2";
-  if (features.sse42) return "sse4.2";
-  return "baseline";
+  std::string isa;
+  auto append = [&](const char* name) {
+    if (!isa.empty()) isa += '+';
+    isa += name;
+  };
+  if (features.sse42) append("sse4.2");
+  if (features.avx2) append("avx2");
+  if (features.avx512f && features.avx512bw) append("avx512");
+  return isa.empty() ? "baseline" : isa;
 }
 
 std::string describe(const HostInfo& info) {

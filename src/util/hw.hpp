@@ -39,6 +39,11 @@ struct HostInfo {
 struct CpuFeatures {
   bool sse42 = false;  ///< SSE4.2 (pcmpgtq — the 64-bit kernels need it)
   bool avx2 = false;   ///< AVX2 (256-bit integer min/max/permute)
+  /// AVX-512 Foundation (512-bit integer min/max/permute, mask compares)
+  /// and Byte+Word; the avx512 merge kernel TU is compiled with
+  /// -mavx512f -mavx512bw and dispatch requires both bits.
+  bool avx512f = false;
+  bool avx512bw = false;
   /// Invariant TSC (CPUID 8000_0007h EDX bit 8): the timestamp counter
   /// ticks at a constant rate across P-/C-state transitions, which is the
   /// precondition for obs::FastClock to stamp spans with rdtsc instead of
@@ -53,8 +58,10 @@ const HostInfo& host_info();
 /// Queries CPU ISA features via cpuid (cached after the first call).
 const CpuFeatures& cpu_features();
 
-/// Short ISA summary for harness banners: "sse4.2+avx2", "sse4.2", or
-/// "baseline" when neither extension is present.
+/// Short ISA summary for harness banners: "sse4.2+avx2+avx512",
+/// "sse4.2+avx2", "sse4.2", or "baseline" when no extension is present
+/// (avx512 is listed only when both the F and BW subsets are there — what
+/// the widest merge kernel needs).
 std::string isa_string(const CpuFeatures& features);
 
 /// The evaluation machine from the paper (Dell T610, 2x Xeon X5670) as a

@@ -12,7 +12,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <list>
 #include <random>
 #include <span>
@@ -136,6 +139,118 @@ TEST(KernelEquivalence, AllKeyWidthsAndSignedness) {
   }
 }
 
+// Bitwise-identical float vectors (operator== is useless once NaNs are
+// in play: NaN != NaN would fail exactly the payloads the total-order
+// mode is supposed to preserve).
+template <typename T>
+void expect_bitwise_equal(const std::vector<T>& got,
+                          const std::vector<T>& want, Kernel kernel) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(std::memcmp(&got[i], &want[i], sizeof(T)), 0)
+        << to_string(kernel) << " differs at " << i;
+  }
+}
+
+/// Scalar merge_steps() under TotalOrderLess as the oracle vs the forced
+/// kernel through merge_steps_auto(): identical bytes, identical cursors.
+template <typename T>
+void expect_equivalent_total_order(const std::vector<T>& a,
+                                   const std::vector<T>& b, Kernel kernel,
+                                   std::size_t steps) {
+  std::vector<T> want(steps), got(steps);
+  std::size_t wi = 0, wj = 0;
+  merge_steps(a.data(), a.size(), b.data(), b.size(), &wi, &wj, want.data(),
+              steps, TotalOrderLess{});
+  KernelGuard guard;
+  ASSERT_TRUE(set_kernel(kernel));
+  std::size_t gi = 0, gj = 0;
+  merge_steps_auto(a.data(), a.size(), b.data(), b.size(), &gi, &gj,
+                   got.data(), steps, TotalOrderLess{});
+  expect_bitwise_equal(got, want, kernel);
+  ASSERT_EQ(gi, wi) << to_string(kernel) << " a-cursor";
+  ASSERT_EQ(gj, wj) << to_string(kernel) << " b-cursor";
+}
+
+/// Adversarial float input: random bit patterns (which naturally include
+/// NaNs, denormals and infinities) salted with the special values the
+/// totalOrder axioms care about, sorted by TotalOrderLess.
+template <typename T>
+std::vector<T> make_total_order_input(std::size_t len, std::uint64_t seed) {
+  using Bits = std::conditional_t<sizeof(T) == 4, std::uint32_t,
+                                  std::uint64_t>;
+  std::mt19937_64 rng(seed);
+  std::vector<T> out;
+  out.reserve(len);
+  const T specials[] = {
+      T(0.0),
+      T(-0.0),
+      std::numeric_limits<T>::infinity(),
+      -std::numeric_limits<T>::infinity(),
+      std::numeric_limits<T>::quiet_NaN(),
+      -std::numeric_limits<T>::quiet_NaN(),
+      std::bit_cast<T>(static_cast<Bits>(sizeof(T) == 4
+                                             ? 0x7fc00001u
+                                             : 0x7ff8000000000001ull)),
+      std::numeric_limits<T>::denorm_min(),
+      -std::numeric_limits<T>::denorm_min(),
+      std::numeric_limits<T>::min(),
+      T(1.5),
+      T(-1.5),
+  };
+  for (std::size_t i = 0; i < len; ++i) {
+    if (i % 4 == 0) {
+      out.push_back(specials[rng() % std::size(specials)]);
+    } else {
+      out.push_back(std::bit_cast<T>(static_cast<Bits>(rng())));
+    }
+  }
+  std::sort(out.begin(), out.end(), TotalOrderLess{});
+  return out;
+}
+
+TEST(KernelEquivalence, FloatTotalOrderAllKernels) {
+  // The total-order float mode: float/double merges under TotalOrderLess
+  // ride the integer vector kernels via the sign-flip bijection. The
+  // inputs are deliberately hostile — signed zeros, quiet NaNs with
+  // distinct payloads (both signs), denormals, infinities — and the
+  // contract is bitwise, not just value, equality.
+  for (Kernel kernel : supported_kernels()) {
+    for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 100u, 257u}) {
+      expect_equivalent_total_order(
+          make_total_order_input<float>(len, 0xf10a + len),
+          make_total_order_input<float>(len + len / 3, 0xf10b + len), kernel,
+          2 * len + len / 3);
+      expect_equivalent_total_order(
+          make_total_order_input<double>(len, 0xd0b1 + len),
+          make_total_order_input<double>(len + len / 3, 0xd0b2 + len), kernel,
+          2 * len + len / 3);
+    }
+  }
+}
+
+TEST(KernelEquivalence, FloatTotalOrderMatchesStdSortOrder) {
+  // TotalOrderLess itself must realize IEEE totalOrder: merging two
+  // sorted runs yields the same bytes std::sort produces on the
+  // concatenation (true only because the comparator is a genuine total
+  // order even with NaNs — std::less would scramble them).
+  const auto a = make_total_order_input<float>(300, 0xab1);
+  const auto b = make_total_order_input<float>(257, 0xab2);
+  std::vector<float> want;
+  want.insert(want.end(), a.begin(), a.end());
+  want.insert(want.end(), b.begin(), b.end());
+  std::sort(want.begin(), want.end(), TotalOrderLess{});
+  for (Kernel kernel : supported_kernels()) {
+    KernelGuard guard;
+    ASSERT_TRUE(set_kernel(kernel));
+    std::vector<float> got(want.size());
+    std::size_t i = 0, j = 0;
+    merge_steps_auto(a.data(), a.size(), b.data(), b.size(), &i, &j,
+                     got.data(), got.size(), TotalOrderLess{});
+    expect_bitwise_equal(got, want, kernel);
+  }
+}
+
 TEST(KernelEquivalence, PartialBudgetsAndResume) {
   // The lane machinery calls the kernel with a step budget and resumes
   // from saved cursors; the vector loops must advance *a_pos/*b_pos
@@ -204,13 +319,16 @@ TEST(KernelDispatch, SimdSupportRequiresCompiledInTUs) {
   if (kSimdCompiledIn) GTEST_SKIP() << "SIMD TUs compiled in";
   EXPECT_FALSE(kernel_supported(Kernel::kSse4));
   EXPECT_FALSE(kernel_supported(Kernel::kAvx2));
+  EXPECT_FALSE(kernel_supported(Kernel::kAvx512));
   EXPECT_EQ(widest_supported(), Kernel::kScalar);
 }
 
 TEST(KernelDispatch, WidestIsOrderedAndSupported) {
   const Kernel widest = widest_supported();
   EXPECT_TRUE(kernel_supported(widest));
-  if (kernel_supported(Kernel::kAvx2)) {
+  if (kernel_supported(Kernel::kAvx512)) {
+    EXPECT_EQ(widest, Kernel::kAvx512);
+  } else if (kernel_supported(Kernel::kAvx2)) {
     EXPECT_EQ(widest, Kernel::kAvx2);
   } else if (kernel_supported(Kernel::kSse4)) {
     EXPECT_EQ(widest, Kernel::kSse4);
@@ -219,10 +337,24 @@ TEST(KernelDispatch, WidestIsOrderedAndSupported) {
   }
 }
 
+TEST(KernelDispatch, BranchlessIsNeverAutoSelected) {
+  // Satellite of the demotion: BENCH_5 measured branchless at 0.89-0.90x
+  // *slower* than scalar, so auto-dispatch must never pick it no matter
+  // which ISA bits the host reports. Explicit override keeps working.
+  EXPECT_NE(widest_supported(), Kernel::kBranchless);
+  std::string warning;
+  EXPECT_NE(detail::resolve_override(nullptr, &warning),
+            Kernel::kBranchless);
+  EXPECT_NE(detail::resolve_override("auto", &warning), Kernel::kBranchless);
+  EXPECT_EQ(detail::resolve_override("branchless", &warning),
+            Kernel::kBranchless);
+  EXPECT_TRUE(warning.empty());
+}
+
 TEST(KernelDispatch, SetKernelRejectsUnsupportedAndKeepsSelection) {
   KernelGuard guard;
   ASSERT_TRUE(set_kernel(Kernel::kScalar));
-  for (Kernel k : {Kernel::kSse4, Kernel::kAvx2}) {
+  for (Kernel k : {Kernel::kSse4, Kernel::kAvx2, Kernel::kAvx512}) {
     if (kernel_supported(k)) {
       EXPECT_TRUE(set_kernel(k));
       EXPECT_EQ(selected_kernel(), k);
@@ -271,7 +403,9 @@ TEST(KernelDispatch, CompiledOutSimdLoopsAreInert) {
   // fallthrough: no elements written, no cursor movement.
   const std::vector<std::int32_t> a(64, 1), b(64, 2);
   std::vector<std::int32_t> out(128, -1);
-  for (Kernel k : {Kernel::kSse4, Kernel::kAvx2}) {
+  const std::vector<float> fa(64, 1.0f), fb(64, 2.0f);
+  std::vector<float> fout(128, -1.0f);
+  for (Kernel k : {Kernel::kSse4, Kernel::kAvx2, Kernel::kAvx512}) {
     std::size_t i = 0, j = 0;
     EXPECT_EQ(detail::simd_loop_i32(k, a.data(), 64, b.data(), 64, &i, &j,
                                     out.data(), 128),
@@ -279,6 +413,13 @@ TEST(KernelDispatch, CompiledOutSimdLoopsAreInert) {
     EXPECT_EQ(i, 0u);
     EXPECT_EQ(j, 0u);
     EXPECT_EQ(out[0], -1);
+    std::size_t fi = 0, fj = 0;
+    EXPECT_EQ(detail::simd_loop_f32(k, fa.data(), 64, fb.data(), 64, &fi,
+                                    &fj, fout.data(), 128),
+              0u);
+    EXPECT_EQ(fi, 0u);
+    EXPECT_EQ(fj, 0u);
+    EXPECT_EQ(fout[0], -1.0f);
   }
 }
 
@@ -300,12 +441,24 @@ static_assert(use_vector_merge_v<std::vector<std::int64_t>::const_iterator,
                                  std::vector<std::int64_t>::const_iterator,
                                  std::vector<std::int64_t>::iterator,
                                  std::less<>>);
-// Floats: equal keys need not be bitwise identical (-0.0/+0.0), NaN breaks
-// the strict weak order — the scalar kernel's take order must be kept.
+// Floats under std::less: equal keys need not be bitwise identical
+// (-0.0/+0.0), NaN breaks the strict weak order — the scalar kernel's
+// take order must be kept.
 static_assert(!use_vector_merge_v<const float*, const float*, float*,
                                   std::less<>>);
 static_assert(!use_vector_merge_v<const double*, const double*, double*,
                                   std::less<>>);
+// Floats under the opt-in TotalOrderLess are admitted (the total-order
+// float mode); integer keys under TotalOrderLess compare with plain <,
+// but the trait only certifies the float instantiations.
+static_assert(use_vector_merge_v<const float*, const float*, float*,
+                                 TotalOrderLess>);
+static_assert(use_vector_merge_v<const double*, const double*, double*,
+                                 TotalOrderLess>);
+static_assert(use_vector_merge_v<std::vector<float>::const_iterator,
+                                 std::vector<float>::const_iterator,
+                                 std::vector<float>::iterator,
+                                 TotalOrderLess>);
 // Payload records: reordering equal keys would break A-priority stability.
 static_assert(!use_vector_merge_v<const KeyedRecord*, const KeyedRecord*,
                                   KeyedRecord*, std::less<>>);
